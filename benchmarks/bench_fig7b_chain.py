@@ -1,0 +1,55 @@
+"""Fig. 7b: 500-invocation chain, nearby vs remote client.
+
+Shape: Fixpoint < Pheromone << Ray in both placements; Ray pays ~length
+round trips; remote Ray is catastrophic (seconds); Fixpoint and Pheromone
+degrade by roughly one extra RTT.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import fig7b
+from repro.bench.harness import relative_error
+from repro.bench.paperdata import FIG7B_SECONDS
+from repro.fixpoint.runtime import Fixpoint
+from repro.workloads.chain import run_chain
+
+
+def test_real_chain_execution(benchmark):
+    """The real 500-link chain forced on the in-process runtime."""
+
+    def build_and_run():
+        fp = Fixpoint()
+        return run_chain(fp, 500)
+
+    assert benchmark.pedantic(build_and_run, rounds=1, iterations=1) == 500
+
+
+def test_chain_latency_shape(benchmark, run_once):
+    result = run_once(benchmark, fig7b.run, scale=1.0)
+    result.show()
+    for placement in ("nearby", "remote"):
+        fix = result.value(f"Fixpoint ({placement})", "model_s")
+        phero = result.value(f"Pheromone ({placement})", "model_s")
+        ray = result.value(f"Ray ({placement})", "model_s")
+        assert fix < phero < ray
+        # Ray pays per-link round trips: two orders of magnitude nearby.
+        assert ray / fix > 50
+        # Model vs paper: within 25% for every cell.
+        for system, value in (
+            ("Fixpoint", fix),
+            ("Pheromone", phero),
+            ("Ray", ray),
+        ):
+            paper = FIG7B_SECONDS[placement][system]
+            assert relative_error(value, paper) < 0.25, (placement, system)
+    # Moving the client away costs Fixpoint ~one RTT, Ray ~500 RTTs.
+    fix_delta = result.value("Fixpoint (remote)", "model_s") - result.value(
+        "Fixpoint (nearby)", "model_s"
+    )
+    ray_delta = result.value("Ray (remote)", "model_s") - result.value(
+        "Ray (nearby)", "model_s"
+    )
+    assert fix_delta == pytest.approx(0.0213 - 0.00035, rel=0.01)
+    assert ray_delta > 400 * fix_delta

@@ -1,0 +1,72 @@
+"""Fig. 8b: word-count over 984 x 100 MiB shards on 10 nodes / 320 vCPUs.
+
+Shape assertions (the paper's ordering and rough factors):
+
+    Fixpoint < Ray CPS < Ray blocking < Fixpoint(no locality)
+             < Fixpoint(no locality + internal I/O)
+             < Pheromone (map only) < OpenWhisk
+
+with locality worth ~10x, internal I/O costing a further few percent, and
+Fixpoint's CPU-waiting percentage far below the internal-I/O systems'.
+"""
+
+from __future__ import annotations
+
+from repro.bench import fig8b
+from repro.bench.harness import factor, ordering_holds
+from repro.bench.paperdata import FIG8B_SECONDS
+
+ORDER = [
+    "Fixpoint",
+    "Ray (continuation-passing)",
+    "Ray (blocking)",
+    "Fixpoint (no locality)",
+    "Fixpoint (no locality + internal I/O)",
+    "Pheromone + MinIO (map only)",
+    "OpenWhisk + MinIO + K8s",
+]
+
+
+def test_wordcount_shape(benchmark, run_once):
+    result = run_once(benchmark, fig8b.run, scale=1.0)
+    result.show()
+    assert ordering_holds(result, "time_s", ORDER)
+    # Locality is worth roughly an order of magnitude (paper: 9.7x).
+    loc = factor(result, "time_s", "Fixpoint (no locality)", "Fixpoint")
+    assert 5.0 <= loc <= 20.0, loc
+    # Internal I/O adds a few percent on top of no-locality (paper: 7.5%).
+    internal = factor(
+        result,
+        "time_s",
+        "Fixpoint (no locality + internal I/O)",
+        "Fixpoint (no locality)",
+    )
+    assert 1.0 <= internal <= 1.25, internal
+    # OpenWhisk end-to-end vs Fixpoint (paper: ~19.6x).
+    ow = factor(result, "time_s", "OpenWhisk + MinIO + K8s", "Fixpoint")
+    assert 10.0 <= ow <= 40.0, ow
+    # CPU-state story: Fixpoint mostly computes; internal-I/O systems wait.
+    assert result.value("Fixpoint", "waiting_pct") < 45.0
+    assert result.value("OpenWhisk + MinIO + K8s", "waiting_pct") > 85.0
+    assert (
+        result.value(
+            "Fixpoint (no locality + internal I/O)", "iowait_pct"
+        )
+        > 30.0
+    )
+    assert result.value("Fixpoint", "iowait_pct") == 0.0  # never starves a core
+    # Every row within a 0.5x-2x band of the paper's seconds.
+    for system, paper_s in FIG8B_SECONDS.items():
+        ratio = result.value(system, "time_s") / paper_s
+        assert 0.5 <= ratio <= 2.0, (system, ratio)
+
+
+def test_wordcount_scales_down(benchmark, run_once):
+    """The CI-sized configuration preserves the headline ordering."""
+    result = run_once(benchmark, fig8b.run, scale=0.1)
+    result.show()
+    assert ordering_holds(
+        result,
+        "time_s",
+        ["Fixpoint", "Fixpoint (no locality)", "OpenWhisk + MinIO + K8s"],
+    )

@@ -1,0 +1,53 @@
+"""Fig. 9: B+-tree lookups vs arity - fine granularity pays off under Fix.
+
+Shape: Fixpoint improves as arity shrinks from 2^24 and stays fastest
+everywhere; Ray (continuation-passing) deteriorates as invocations
+multiply; Ray (blocking) sits between at fine grain; slowdown factors at
+arity 2^6 in the paper's neighbourhood (22.3x / 49.9x -> bands).
+
+Also benchmarks the *real* lookup on the in-process runtime (single
+worker, like the paper's single-thread configuration).
+"""
+
+from __future__ import annotations
+
+from repro.bench import fig9
+from repro.fixpoint.runtime import Fixpoint
+from repro.workloads.bptree import build_bptree, compile_get, lookup
+from repro.workloads.titles import make_titles
+
+
+def test_real_lookup_latency(benchmark):
+    """One real lookup (arity 64, ~8k keys) through selection thunks."""
+    fp = Fixpoint()
+    titles = make_titles(8192)
+    tree = build_bptree(fp, titles, [b"v:" + t for t in titles], arity=64)
+    get_fn = compile_get(fp)
+    key = titles[4321]
+    value = benchmark(lookup, fp, tree, get_fn, key)
+    assert value == b"v:" + key
+
+
+def test_fig9_shape(benchmark, run_once):
+    result = run_once(benchmark, fig9.run, scale=1.0)
+    result.show()
+    by_arity = {row["system"]: row for row in result.rows}
+    flat = by_arity["arity 2^24"]
+    mid = by_arity["arity 2^12"]
+    fine = by_arity["arity 2^6"]
+    # Fixpoint benefits from finer granularity (decreasing from flat).
+    assert flat["fixpoint_s"] > mid["fixpoint_s"]
+    assert flat["fixpoint_s"] > fine["fixpoint_s"]
+    # Ray CPS deteriorates as the tree gets finer (more invocations).
+    assert fine["ray_cps_s"] > mid["ray_cps_s"]
+    # Fixpoint is fastest at every arity; CPS is worst at fine grain.
+    for row in result.rows:
+        assert row["fixpoint_s"] < row["ray_blocking_s"]
+        assert row["fixpoint_s"] < row["ray_cps_s"]
+    assert fine["ray_cps_s"] > fine["ray_blocking_s"]
+    # Factor bands at arity 2^6 (paper: blocking 22.3x, CPS 49.9x).
+    assert 8.0 <= fine["blocking_slowdown"] <= 40.0
+    assert 15.0 <= fine["cps_slowdown"] <= 80.0
+    # CPS costs roughly 2x blocking at fine grain (paper: 2.24x).
+    ratio = fine["ray_cps_s"] / fine["ray_blocking_s"]
+    assert 1.5 <= ratio <= 3.0, ratio

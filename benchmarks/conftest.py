@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures, prints the
+paper-vs-measured rows, and asserts the *shape* (winners, orderings,
+factor bands) - never absolute equality with the authors' testbed.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a deterministic experiment exactly once under pytest-benchmark.
+
+    The simulated experiments are deterministic; repeating them only
+    burns time.  pytest-benchmark still records the wall time.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def run_once():
+    return once

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""A key-value store as a B+-tree of Fix Trees (the fig. 9 workload).
+
+Builds a real tree over generated article titles, looks keys up through
+selection thunks (each step's minimum repository is one node's keys -
+never the whole tree), shows Table 2's access-cost story with real
+counters, and prints the fig. 9 latency model across arities.
+
+Run:  python examples/bptree_kv.py
+"""
+
+from repro import Fixpoint
+from repro.bench import fig9
+from repro.workloads.bptree import (
+    build_bptree,
+    compile_get,
+    lookup,
+    sample_queries,
+    walk_real_tree,
+)
+from repro.workloads.titles import make_titles
+
+
+def main() -> None:
+    fp = Fixpoint()
+    titles = make_titles(20_000, seed=7)
+    values = [b"article-body-of:" + t for t in titles]
+    arity = 64
+
+    print(f"building B+-tree over {len(titles):,} titles (arity {arity})...")
+    tree = build_bptree(fp, titles, values, arity)
+    print(f"  depth={tree.depth} levels={tree.levels} nodes={tree.node_count}")
+
+    get_fn = compile_get(fp)
+    for key in sample_queries(titles, 3, seed=1):
+        value = lookup(fp, tree, get_fn, key)
+        print(f"  lookup {key.decode():30s} -> {value[:28].decode()}...")
+    missing = lookup(fp, tree, get_fn, b"zz-no-such-article")
+    print(f"  lookup of an absent key -> {missing!r}")
+
+    print("\nTable 2 on this real tree (one query):")
+    key = titles[1234]
+    for style in ("fixpoint", "ray-cps", "ray-blocking"):
+        stats = walk_real_tree(fp, tree, key, style)
+        print(
+            f"  {style:13s} invocations={stats.invocations:2d} "
+            f"gets={stats.gets:2d} bytes={stats.bytes_fetched:6d} "
+            f"peak_resident={stats.peak_resident:6d}"
+        )
+
+    print("\nfig. 9 latency model (6M keys, seconds per 10-query set):")
+    fig9.run(scale=1.0).show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro - a Python reproduction of "Fix: externalizing network I/O in
+serverless computing" (Deng et al., EuroSys 2026).
+
+Public surface:
+
+* :mod:`repro.core` - the Fix ABI: Handles, Blobs/Trees, Thunks, Encodes,
+  minimum repositories, and the evaluator.
+* :mod:`repro.codelets` - the trusted toolchain, sandbox, and linker.
+* :mod:`repro.fixpoint` - the executable multi-worker runtime.
+* :mod:`repro.sim` - the discrete-event cluster substrate.
+* :mod:`repro.dist` - distributed Fixpoint (dataflow-aware scheduling).
+* :mod:`repro.baselines` - OpenWhisk/MinIO/K8s, Ray, Pheromone, Faasm models.
+* :mod:`repro.flatware` - the POSIX-compat layer over Fix Trees.
+* :mod:`repro.workloads` - the paper's evaluation workloads.
+* :mod:`repro.bench` - the experiment harness regenerating every figure.
+"""
+
+from .core import (
+    Blob,
+    Evaluator,
+    FixAPI,
+    FixError,
+    Handle,
+    Repository,
+    ResourceLimits,
+    Tree,
+)
+from .fixpoint import Fixpoint
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Blob",
+    "Evaluator",
+    "FixAPI",
+    "FixError",
+    "Fixpoint",
+    "Handle",
+    "Repository",
+    "ResourceLimits",
+    "Tree",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""``repro.baselines`` - calibrated models of the comparator systems.
+
+OpenWhisk + MinIO + Kubernetes, Ray (blocking / continuation-passing /
+Popen), Pheromone, Faasm, and the Linux-process point, all executing the
+same :class:`~repro.dist.graph.JobGraph`s as distributed Fixpoint on the
+same simulated clusters.  Every constant lives in
+:mod:`repro.baselines.calibration` with provenance notes.
+"""
+
+from .base import Platform, RunResult
+from .calibration import Calibration, DEFAULT_CALIBRATION
+from .faasm import Faasm
+from .kubernetes import KubeScheduler
+from .linuxproc import measure_process_spawn, measure_python_call, modeled_costs
+from .minio import MinIO
+from .openwhisk import OpenWhisk
+from .pheromone import Pheromone
+from .ray import RayPlatform
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "Faasm",
+    "KubeScheduler",
+    "MinIO",
+    "OpenWhisk",
+    "Pheromone",
+    "Platform",
+    "RayPlatform",
+    "RunResult",
+    "measure_process_spawn",
+    "measure_python_call",
+    "modeled_costs",
+]

@@ -1,0 +1,227 @@
+"""Common machinery for the simulated platforms.
+
+A :class:`Platform` executes a :class:`~repro.dist.graph.JobGraph` on a
+:class:`~repro.sim.cluster.Cluster`: it registers the graph's initial data
+placements, runs every task as its dependencies complete (each platform
+defines its own ``invoke`` process), and reports a :class:`RunResult` with
+the makespan and the ``/proc/stat``-style CPU breakdown.
+
+Platform models share helpers for fetching objects (from peer machines,
+the client, or the external storage service) and for charging CPU states
+while simulated work happens.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..core.errors import SchedulingError
+from ..dist.graph import CLIENT, EXTERNAL, JobGraph, TaskSpec
+from ..sim.cluster import Cluster
+from ..sim.engine import Event, Simulator, all_of
+from ..sim.stats import CpuReport, report
+from ..sim.storage_service import StorageService
+from .calibration import Calibration, DEFAULT_CALIBRATION
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing one JobGraph on one platform."""
+
+    platform: str
+    makespan: float
+    cpu: CpuReport
+    task_finish: Dict[str, float] = field(default_factory=dict)
+    bytes_transferred: int = 0
+    messages: int = 0
+    invocations: int = 0
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "platform": self.platform,
+            "time_s": round(self.makespan, 3),
+        }
+        row.update(self.cpu.as_row())
+        return row
+
+
+class Platform:
+    """Base class: graph loading, dependency-driven execution, reporting."""
+
+    name = "base"
+    #: Effective object-path throughput per NIC for this platform; used by
+    #: :meth:`build` when constructing a cluster (see calibration.py).
+    data_bandwidth = DEFAULT_CALIBRATION.tcp_stream_bw
+
+    @classmethod
+    def build(
+        cls,
+        nodes: int = 10,
+        cores: int = 32,
+        memory_bytes: int = 128 << 30,
+        storage_latency: Optional[float] = None,
+        seed: int = 0,
+        **platform_kwargs,
+    ) -> "Platform":
+        """A fresh simulator + cluster + platform, NICs at this platform's
+        effective data bandwidth.  One build per experiment row."""
+        from ..sim.cluster import MachineSpec  # local import, no cycle
+
+        sim = Simulator()
+        specs = [
+            MachineSpec(
+                name=f"node{i}",
+                cores=cores,
+                memory_bytes=memory_bytes,
+                nic_bandwidth=cls.data_bandwidth,
+            )
+            for i in range(nodes)
+        ]
+        cluster = Cluster(sim, specs)
+        storage = None
+        if storage_latency is not None:
+            storage = StorageService(sim, response_latency=storage_latency)
+        return cls(sim, cluster, storage=storage, seed=seed, **platform_kwargs)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        calib: Calibration = DEFAULT_CALIBRATION,
+        storage: Optional[StorageService] = None,
+        seed: int = 0,
+        client_bandwidth: Optional[float] = None,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.calib = calib
+        self.storage = storage
+        self.rng = random.Random(seed)
+        self.invocations = 0
+        # The client is a network endpoint (uploads, driver round trips).
+        if CLIENT not in cluster.network._nics:
+            cluster.network.attach(
+                CLIENT, client_bandwidth or calib.tcp_stream_bw
+            )
+        self._task_done: Dict[str, Event] = {}
+        # In-flight replica transfers, deduplicated per (object, node): a
+        # platform's network worker never fetches the same object to the
+        # same place twice concurrently.
+        self._inflight_fetches: Dict[tuple, Event] = {}
+
+    # ------------------------------------------------------------------
+    # Graph loading
+
+    def load(self, graph: JobGraph) -> None:
+        """Register the graph's initial data placements."""
+        graph.validate()
+        for spec in graph.data.values():
+            self.cluster.add_object(spec.name, spec.size, spec.location)
+
+    # ------------------------------------------------------------------
+    # Execution driver
+
+    def invoke(self, task: TaskSpec, submitter: str) -> Event:
+        """Run one task; the event's value is the machine that ran it.
+
+        Subclasses implement :meth:`_invoke_proc`.
+        """
+        self.invocations += 1
+        return self.sim.process(
+            self._invoke_proc(task, submitter), name=f"{self.name}:{task.name}"
+        )
+
+    def _invoke_proc(self, task: TaskSpec, submitter: str):
+        raise NotImplementedError
+
+    def run(self, graph: JobGraph, submitter: str = CLIENT) -> RunResult:
+        """Execute the whole graph; returns makespan and CPU report."""
+        self.load(graph)
+        start = self.sim.now
+        finish_times: Dict[str, float] = {}
+        done_events: Dict[str, Event] = {}
+
+        def task_driver(task: TaskSpec):
+            deps = graph.dependencies(task)
+            if deps:
+                yield all_of(self.sim, [done_events[d] for d in deps])
+            yield self.invoke(task, submitter)
+            finish_times[task.name] = self.sim.now
+
+        for task in graph.topological_order():
+            done_events[task.name] = self.sim.process(
+                task_driver(task), name=f"driver:{task.name}"
+            )
+        self.sim.run_until(all_of(self.sim, list(done_events.values())))
+        makespan = self.sim.now - start
+        cpu = report(
+            self.cluster.accountant,
+            total_cores=self.cluster.total_cores,
+            window_seconds=max(makespan, 1e-12),
+        )
+        return RunResult(
+            platform=self.name,
+            makespan=makespan,
+            cpu=cpu,
+            task_finish=finish_times,
+            bytes_transferred=self.cluster.network.bytes_transferred,
+            messages=self.cluster.network.messages,
+            invocations=self.invocations,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared helpers (processes)
+
+    def _busy(self, machine: str, state: str, cores: int, seconds: float):
+        """Charge ``cores`` in ``state`` on ``machine`` for ``seconds``."""
+        token = self.cluster.accountant.begin(machine, state, cores)
+        yield self.sim.timeout(seconds)
+        self.cluster.accountant.end(token)
+
+    def _fetch(self, obj_name: str, dst: str) -> Event:
+        """Make ``obj_name`` resident on ``dst``; returns completion event.
+
+        Concurrent fetches of the same object to the same node share one
+        transfer (Fixpoint bundles a dependency once per node; fetching
+        it per-invocation is exactly the baseline behaviour modeled
+        elsewhere, e.g. MinIO GETs).
+        """
+        info = self.cluster.object(obj_name)
+        if dst in info.locations:
+            return self.sim.timeout(0.0, value=0)
+        key = (obj_name, dst)
+        inflight = self._inflight_fetches.get(key)
+        if inflight is not None and not inflight.triggered:
+            return inflight
+        event = self.sim.process(
+            self._fetch_proc(obj_name, dst), name=f"fetch {obj_name}->{dst}"
+        )
+        self._inflight_fetches[key] = event
+        return event
+
+    def _fetch_proc(self, obj_name: str, dst: str):
+        info = self.cluster.object(obj_name)
+        if dst in info.locations:
+            return 0
+        if info.locations == {EXTERNAL}:
+            if self.storage is None:
+                raise SchedulingError(
+                    f"{self.name}: object {obj_name!r} is external but no "
+                    "storage service is configured"
+                )
+            yield self.storage.get(info.size)
+            info.locations.add(dst)
+            return info.size
+        yield self.cluster.transfer_object(obj_name, dst)
+        return info.size
+
+    def _fetch_all(self, names: Iterable[str], dst: str) -> Event:
+        return all_of(self.sim, [self._fetch(n, dst) for n in names])
+
+    def missing_bytes(self, task: TaskSpec, machine: str) -> int:
+        return self.cluster.bytes_missing(task.inputs, machine)
+
+    def machine_names(self) -> List[str]:
+        return self.cluster.machine_names()

@@ -1,0 +1,61 @@
+"""The Faasm baseline: Wasm software-fault isolation without externalized I/O.
+
+Faasm (ATC '20) isolates functions with WebAssembly like Fixpoint, but
+offers a general host interface (filesystem, shared state) instead of
+Fix's declarative dependencies - so its dispatcher must set up that
+environment on every call, costing the 10.6 ms / 2.3 ms (total / core)
+measured in fig. 7a.  Only the microbenchmarks use this model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..dist.graph import TaskSpec
+from ..sim.cluster import Cluster
+from ..sim.engine import Simulator
+from .base import Platform
+from .calibration import FAASM_CORE, FAASM_INVOKE
+
+
+class Faasm(Platform):
+    """Wasm FaaS with host-interface state sharing."""
+
+    name = "Faasm"
+
+    def __init__(self, sim: Simulator, cluster: Cluster, **kwargs):
+        super().__init__(sim, cluster, **kwargs)
+        self._outstanding: Dict[str, int] = {
+            name: 0 for name in cluster.machine_names()
+        }
+
+    def _invoke_proc(self, task: TaskSpec, submitter: str):
+        node = min(self._outstanding, key=lambda m: (self._outstanding[m], m))
+        machine = self.cluster.machine(node)
+        self._outstanding[node] += 1
+        try:
+            yield self.cluster.network.message(submitter, node)
+            yield machine.cores.acquire(task.cores)
+            yield machine.memory.acquire(task.memory_bytes)
+            try:
+                # Dispatcher + module activation + host interface setup.
+                yield from self._busy(
+                    node, "system", task.cores, FAASM_INVOKE - FAASM_CORE
+                )
+                # State comes through host calls while the core is held.
+                started = self.sim.now
+                yield self._fetch_all(task.inputs, node)
+                self.cluster.accountant.charge(
+                    node, "iowait", (self.sim.now - started) * task.cores
+                )
+                yield from self._busy(node, "system", task.cores, FAASM_CORE)
+                yield from self._busy(
+                    node, "user", task.cores, task.compute_seconds
+                )
+            finally:
+                machine.memory.release(task.memory_bytes)
+                machine.cores.release(task.cores)
+        finally:
+            self._outstanding[node] -= 1
+        self.cluster.add_object(task.output, task.output_size, node)
+        return node

@@ -1,0 +1,239 @@
+"""The Ray baseline, in the paper's three usage styles (section 5.1).
+
+* **blocking** - user functions call ``ray.get`` *inside* the task: the
+  worker claims its core, then pulls each dependency while occupying it
+  (iowait).  Because arguments are bare ObjectRefs resolved inside the
+  function, the scheduler has no locality information at placement time.
+* **cps** (continuation-passing) - every dependency boundary becomes a new
+  task whose arguments Ray pulls *before* assigning a worker; placement is
+  locality-aware (the paper gives Ray the same location information as
+  Fixpoint).  The cost is one full task overhead per continuation plus an
+  ownership round trip to resolve each nested ObjectRef.
+* **popen** - user functions are Linux executables launched via Popen,
+  reading from and writing to MinIO; binaries start on a single node and
+  are loaded on first use per node (fig. 10's "Ray + MinIO").
+
+Every style pays the driver's serial submission cost (a single Python
+process pushing task specs) and the per-task overhead measured in
+fig. 7a.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..core.errors import SchedulingError
+from ..dist.graph import JobGraph, TaskSpec
+from ..sim.cluster import Cluster
+from ..sim.engine import Simulator
+from ..sim.resources import Resource
+from .base import Platform
+from .calibration import (
+    PY_DESER_BW,
+    RAY_DRIVER_SUBMIT,
+    RAY_LOCAL_GET,
+    RAY_OWNER_RTT,
+    RAY_PULL_BW,
+    RAY_RESULT_STORE,
+    RAY_TASK_OVERHEAD,
+    VFORK_EXEC,
+)
+from .calibration import MINIO_STREAM_BW
+from .minio import MinIO
+
+STYLES = ("blocking", "cps", "popen")
+
+
+class RayPlatform(Platform):
+    """Ray with a distributed plasma object store."""
+
+    data_bandwidth = RAY_PULL_BW
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        style: str = "blocking",
+        minio: Optional[MinIO] = None,
+        binary_home: Optional[str] = None,
+        binary_size: int = 100 << 20,
+        **kwargs,
+    ):
+        super().__init__(sim, cluster, **kwargs)
+        if style not in STYLES:
+            raise SchedulingError(f"unknown Ray style {style!r}")
+        self.style = style
+        self.name = {
+            "blocking": "Ray (blocking)",
+            "cps": "Ray (continuation-passing)",
+            "popen": "Ray + MinIO",
+        }[style]
+        # The driver is one Python process: submissions serialize.
+        self._driver = Resource(sim, 1, name="ray.driver")
+        self._head = cluster.machine_names()[0]
+        self.minio = minio
+        if style == "popen" and minio is None:
+            self.minio = MinIO(sim, cluster)
+        # Popen style: executables start on one machine, loaded on demand.
+        self._binary_home = binary_home or self._head
+        self._binary_size = binary_size
+        self._binaries_loaded: Set[str] = {self._binary_home}
+        self._outstanding: Dict[str, int] = {
+            name: 0 for name in cluster.machine_names()
+        }
+
+    # ------------------------------------------------------------------
+
+    def load(self, graph: JobGraph) -> None:
+        if self.style == "popen":
+            graph.validate()
+            assert self.minio is not None
+            for spec in graph.data.values():
+                node = self.minio.preload(spec.name, spec.size)
+                self.cluster.add_object(spec.name, spec.size, node)
+        else:
+            super().load(graph)
+
+    def _place(self, task: TaskSpec) -> str:
+        if self.style == "cps":
+            # Locality-aware: Ray sees the same placement info as Fixpoint.
+            names = self.cluster.machine_names()
+            return min(
+                names,
+                key=lambda m: (
+                    self.missing_bytes(task, m),
+                    self._outstanding[m],
+                    m,
+                ),
+            )
+        if self.style == "popen":
+            # Popen executables read from MinIO; schedule least-loaded.
+            return min(
+                self._outstanding, key=lambda m: (self._outstanding[m], m)
+            )
+        # Blocking: arguments are opaque refs; no locality information.
+        return self.rng.choice(self.cluster.machine_names())
+
+    def _invoke_proc(self, task: TaskSpec, submitter: str):
+        # Driver-side serialization: pickle + submit, one task at a time.
+        yield self._driver.acquire(1)
+        yield self.sim.timeout(RAY_DRIVER_SUBMIT)
+        self._driver.release(1)
+        node = self._place(task)
+        self._outstanding[node] += 1
+        try:
+            yield self.cluster.network.message(submitter, node)
+            if self.style == "blocking":
+                yield from self._run_blocking(task, node)
+            elif self.style == "cps":
+                yield from self._run_cps(task, node)
+            else:
+                yield from self._run_popen(task, node)
+        finally:
+            self._outstanding[node] -= 1
+        return node
+
+    # ------------------------------------------------------------------
+
+    def _deser_seconds(self, task: TaskSpec) -> float:
+        """Python-side ingest of the input bytes (pickle / numpy copy)."""
+        total = sum(self.cluster.object(n).size for n in task.inputs)
+        return total / PY_DESER_BW
+
+    def _run_blocking(self, task: TaskSpec, node: str):
+        machine = self.cluster.machine(node)
+        yield machine.cores.acquire(task.cores)
+        yield machine.memory.acquire(task.memory_bytes)
+        try:
+            yield from self._busy(
+                node, "system", task.cores, RAY_TASK_OVERHEAD
+            )
+            # ray.get inside the function: the core starves while plasma
+            # pulls each object.
+            started = self.sim.now
+            for name in task.inputs:
+                yield self._fetch(name, node)
+                yield self.sim.timeout(RAY_LOCAL_GET)
+            self.cluster.accountant.charge(
+                node, "iowait", (self.sim.now - started) * task.cores
+            )
+            yield from self._busy(
+                node, "user", task.cores, self._deser_seconds(task)
+            )
+            yield from self._busy(node, "user", task.cores, task.compute_seconds)
+            yield from self._busy(node, "system", task.cores, RAY_RESULT_STORE)
+        finally:
+            machine.memory.release(task.memory_bytes)
+            machine.cores.release(task.cores)
+        self.cluster.add_object(task.output, task.output_size, node)
+
+    def _run_cps(self, task: TaskSpec, node: str):
+        # Resolving each nested ObjectRef costs an ownership round trip.
+        for name in task.inputs:
+            if self.cluster.object(name).locations != {node}:
+                yield self.sim.timeout(RAY_OWNER_RTT)
+        # The raylet pulls arguments before a worker is assigned: no core
+        # or memory is held during the fetch (Ray's own late binding).
+        yield self._fetch_all(task.inputs, node)
+        machine = self.cluster.machine(node)
+        yield machine.cores.acquire(task.cores)
+        yield machine.memory.acquire(task.memory_bytes)
+        try:
+            yield from self._busy(node, "system", task.cores, RAY_TASK_OVERHEAD)
+            yield from self._busy(
+                node, "user", task.cores, self._deser_seconds(task)
+            )
+            yield from self._busy(node, "user", task.cores, task.compute_seconds)
+            yield from self._busy(node, "system", task.cores, RAY_RESULT_STORE)
+        finally:
+            machine.memory.release(task.memory_bytes)
+            machine.cores.release(task.cores)
+        self.cluster.add_object(task.output, task.output_size, node)
+
+    def _run_popen(self, task: TaskSpec, node: str):
+        assert self.minio is not None
+        machine = self.cluster.machine(node)
+        # Load the executable on first use (binaries live on one machine).
+        if node not in self._binaries_loaded:
+            self._binaries_loaded.add(node)
+            yield self.cluster.network.transfer(
+                self._binary_home, node, self._binary_size
+            )
+        yield machine.cores.acquire(task.cores)
+        yield machine.memory.acquire(task.memory_bytes)
+        try:
+            yield from self._busy(node, "system", task.cores, RAY_TASK_OVERHEAD)
+            yield from self._busy(node, "system", task.cores, VFORK_EXEC)
+            started = self.sim.now
+            for name in task.inputs:
+                yield self.minio.get(name, node)
+            self.cluster.accountant.charge(
+                node, "iowait", (self.sim.now - started) * task.cores
+            )
+            yield from self._busy(node, "user", task.cores, task.compute_seconds)
+            started = self.sim.now
+            yield self.minio.put(task.output, task.output_size, node)
+            self.cluster.accountant.charge(
+                node, "iowait", (self.sim.now - started) * task.cores
+            )
+        finally:
+            machine.memory.release(task.memory_bytes)
+            machine.cores.release(task.cores)
+        holder = self.minio.node_for(task.output)
+        self.cluster.add_object(task.output, task.output_size, holder)
+
+
+class RayPopenMinIO(RayPlatform):
+    """Fig. 10's "Ray + MinIO": Linux executables via Popen, data in MinIO.
+
+    The data path is MinIO's HTTP GET/PUT - slower per stream than Ray's
+    plasma pulls - so the cluster NICs are provisioned at MinIO's
+    effective throughput.
+    """
+
+    name = "Ray + MinIO"
+    data_bandwidth = MINIO_STREAM_BW
+
+    def __init__(self, sim: Simulator, cluster: Cluster, **kwargs):
+        kwargs.setdefault("style", "popen")
+        super().__init__(sim, cluster, **kwargs)

@@ -1,0 +1,38 @@
+"""``repro.bench`` - the experiment harness regenerating every figure.
+
+One module per paper artifact (fig7a, fig7b, fig8a, fig8b, fig9, fig10,
+table2, summary), each exposing ``run(scale=...) -> ExperimentResult``.
+
+Run from the command line::
+
+    python -m repro.bench fig8b
+    python -m repro.bench all --scale 0.1
+"""
+
+from .harness import (
+    ExperimentResult,
+    factor,
+    factor_within,
+    ordering_holds,
+    relative_error,
+)
+
+EXPERIMENTS = (
+    "fig7a",
+    "fig7b",
+    "fig8a",
+    "fig8b",
+    "fig9",
+    "fig10",
+    "table2",
+    "summary",
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "factor",
+    "factor_within",
+    "ordering_holds",
+    "relative_error",
+]

@@ -1,0 +1,44 @@
+"""CLI entry point: ``python -m repro.bench <experiment> [--scale S]``.
+
+``all`` runs every experiment.  ``--scale`` shrinks workloads (default 1.0
+= the paper's configuration); the paper-reported columns scale where that
+is meaningful.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from . import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=(*EXPERIMENTS, "all"),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (1.0 = paper configuration)",
+    )
+    args = parser.parse_args(argv)
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        module = importlib.import_module(f".{name}", package=__package__)
+        result = module.run(scale=args.scale)
+        result.show()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Fig. 7a: duration of a single trivial function invocation.
+
+Three kinds of rows:
+
+* **paper** - the constants measured by the authors (they anchor the
+  platform models; reproducing them is by construction);
+* **composed** - the same trivial add pushed through each *simulated*
+  platform end to end, showing the component models really add up to the
+  measured totals (a consistency check on the decompositions);
+* **real** - actual measurements on this host: a direct Python call, a
+  real process spawn, and a real invocation through the in-process Python
+  Fixpoint runtime (our runtime's overhead is honest wall-clock, not a
+  model).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..baselines.calibration import FIXPOINT_INVOKE
+from ..baselines.faasm import Faasm
+from ..baselines.linuxproc import measure_process_spawn, measure_python_call
+from ..baselines.openwhisk import OpenWhisk
+from ..baselines.pheromone import Pheromone
+from ..baselines.ray import RayPlatform
+from ..codelets.stdlib import int_blob
+from ..dist.engine import FixpointSim
+from ..dist.graph import JobGraph, TaskSpec
+from ..fixpoint.runtime import Fixpoint
+from .harness import ExperimentResult
+from .paperdata import FIG7A_CORE_SECONDS, FIG7A_SECONDS
+
+_PLATFORMS = {
+    "Fixpoint": (FixpointSim, {}),
+    "Pheromone": (Pheromone, {}),
+    "Ray": (RayPlatform, {"style": "blocking"}),
+    "Faasm": (Faasm, {}),
+    "OpenWhisk": (OpenWhisk, {}),
+}
+
+
+def _single_add_graph() -> JobGraph:
+    graph = JobGraph()
+    graph.add_data("a", 1, "node0")
+    graph.add_data("b", 1, "node0")
+    graph.add_task(
+        TaskSpec(
+            name="add",
+            fn="add_u8",
+            inputs=("a", "b"),
+            output="sum",
+            output_size=1,
+            compute_seconds=0.0,
+            memory_bytes=1 << 20,
+        )
+    )
+    return graph
+
+
+def composed_invocation_seconds(system: str) -> float:
+    """Push one warm trivial add through the simulated platform."""
+    cls, kwargs = _PLATFORMS[system]
+    platform = cls.build(nodes=1, cores=4, **kwargs)
+    result = platform.run(_single_add_graph(), submitter="node0")
+    return result.makespan
+
+
+def measure_real_fixpoint(iterations: int = 2000) -> float:
+    """Mean wall seconds per add_u8 invocation on the Python runtime.
+
+    Memoization is disabled so every iteration truly re-executes; the
+    codelet is warm (compiled + linked ahead of time), matching the
+    paper's methodology of excluding setup time.
+    """
+    fp = Fixpoint(memoize=False)
+    a = fp.repo.put_blob(int_blob(3, 1))
+    b = fp.repo.put_blob(int_blob(4, 1))
+    encode = fp.invoke(fp.stdlib["add_u8"], [a, b]).wrap_strict()
+    fp.eval(encode)  # warm the linker and caches
+    start = time.perf_counter()
+    for _ in range(iterations):
+        fp.eval(encode)
+    return (time.perf_counter() - start) / iterations
+
+
+def run(scale: float = 1.0, measure_real: Optional[bool] = None) -> ExperimentResult:
+    """Regenerate fig. 7a.  ``scale`` shrinks the real-measurement loops."""
+    if measure_real is None:
+        measure_real = True
+    result = ExperimentResult(
+        experiment="fig7a",
+        title="Trivial invocation overhead (add two 8-bit integers)",
+    )
+    fix_paper = FIG7A_SECONDS["Fixpoint"]
+    for system, seconds in FIG7A_SECONDS.items():
+        row: dict = {
+            "system": system,
+            "paper_s": seconds,
+            "paper_slowdown": round(seconds / fix_paper, 1),
+        }
+        if system in FIG7A_CORE_SECONDS:
+            row["paper_core_s"] = FIG7A_CORE_SECONDS[system]
+        if system in _PLATFORMS:
+            row["composed_s"] = composed_invocation_seconds(system)
+        result.rows.append(row)
+    if measure_real:
+        iterations = max(50, int(2000 * scale))
+        real_fix = measure_real_fixpoint(iterations)
+        real_call = measure_python_call(max(1000, int(100_000 * scale)))
+        real_spawn = measure_process_spawn(max(10, int(50 * scale)))
+        result.rows.append(
+            {"system": "real: Python direct call", "measured_s": real_call}
+        )
+        result.rows.append(
+            {
+                "system": "real: Python Fixpoint runtime",
+                "measured_s": real_fix,
+                "measured_slowdown": round(real_fix / real_call, 1),
+            }
+        )
+        result.rows.append(
+            {"system": "real: process spawn (vfork+exec)", "measured_s": real_spawn}
+        )
+        result.notes.append(
+            "real rows are wall-clock on this host; the Python runtime's "
+            f"absolute overhead ({real_fix * 1e6:.1f} us) exceeds the C++ "
+            f"original's {FIXPOINT_INVOKE * 1e6:.2f} us, but stays far below "
+            "every containerized/orchestrated system, preserving the ladder."
+        )
+    result.notes.append(
+        "composed_s: the same warm add executed end-to-end on the simulated "
+        "platform models - a consistency check that component constants sum "
+        "to the measured totals."
+    )
+    return result

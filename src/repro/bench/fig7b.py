@@ -1,0 +1,51 @@
+"""Fig. 7b: a chain of 500 function invocations, nearby vs remote client.
+
+Ray resolves every dependency through the client that created it, paying
+one client RTT per link; Fixpoint and Pheromone express the whole chain
+in one shot and execute it cluster-side.  The latency models live in
+:mod:`repro.workloads.chain`; this bench also runs the *real* chain on
+the in-process runtime to verify the dataflow itself (result == length).
+"""
+
+from __future__ import annotations
+
+from ..fixpoint.runtime import Fixpoint
+from ..workloads.chain import chain_latencies, run_chain
+from .harness import ExperimentResult
+from .paperdata import FIG7B_CHAIN_LENGTH, FIG7B_SECONDS
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    length = max(10, int(FIG7B_CHAIN_LENGTH * scale))
+    result = ExperimentResult(
+        experiment="fig7b",
+        title=f"Chain of {length} function invocations (nearby vs remote client)",
+    )
+    for placement, nearby in (("nearby", True), ("remote", False)):
+        for latency in chain_latencies(length, nearby=nearby):
+            paper = FIG7B_SECONDS[placement].get(latency.system)
+            scaled_paper = (
+                paper * length / FIG7B_CHAIN_LENGTH if paper is not None else None
+            )
+            result.rows.append(
+                {
+                    "system": f"{latency.system} ({placement})",
+                    "model_s": latency.seconds,
+                    "paper_s": scaled_paper,
+                    "roundtrips": latency.roundtrips,
+                }
+            )
+    # Execute the real chain end-to-end on the in-process runtime.
+    fp = Fixpoint()
+    value = run_chain(fp, length)
+    result.notes.append(
+        f"real chain of {length} increments evaluated on the Python runtime: "
+        f"result={value} (expected {length}), "
+        f"invocations={fp.trace.invocation_count('increment')}"
+    )
+    if value != length:
+        raise AssertionError("real chain produced a wrong result")
+    result.notes.append(
+        "paper_s scaled linearly when the chain is shortened for CI runs"
+    )
+    return result

@@ -1,0 +1,68 @@
+"""The three summary tables of the paper's section 1.
+
+Each is a projection of one regenerated experiment:
+
+* invocation-overhead ladder  <- fig. 7a
+* word-count CPU-waiting table <- fig. 8b (three rows)
+* B+-tree arity-256 comparison <- fig. 9
+"""
+
+from __future__ import annotations
+
+from . import fig7a, fig8b, fig9
+from .harness import ExperimentResult
+from .paperdata import FIG7A_SLOWDOWNS, FIG9_ARITY256
+
+
+def run(scale: float = 0.1) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="summary",
+        title="Section 1 summary tables (projections of figs. 7a, 8b, 9)",
+    )
+    # Table 1: the overhead ladder.
+    ladder = fig7a.run(scale=scale, measure_real=False)
+    fix = ladder.value("Fixpoint", "paper_s")
+    for system in ("Fixpoint", "Linux process", "Pheromone", "Ray", "Faasm", "OpenWhisk"):
+        row = ladder.row(system)
+        result.rows.append(
+            {
+                "system": f"[overhead] {system}",
+                "value": row["paper_s"],
+                "slowdown_vs_fix": round(float(row["paper_s"]) / fix),  # type: ignore[arg-type]
+                "paper_slowdown": FIG7A_SLOWDOWNS.get(system, 1),
+            }
+        )
+    # Table 2: word-count waiting percentages.
+    wc = fig8b.run(scale=scale)
+    for system in (
+        "Fixpoint",
+        "Fixpoint (no locality + internal I/O)",
+        "OpenWhisk + MinIO + K8s",
+    ):
+        row = wc.row(system)
+        result.rows.append(
+            {
+                "system": f"[wordcount] {system}",
+                "value": row["time_s"],
+                "waiting_pct": row["waiting_pct"],
+            }
+        )
+    # Table 3: B+-tree at arity 256.
+    bp = fig9.run(scale=1.0)
+    row = bp.row("arity 2^8")
+    for label, column in (
+        ("Fixpoint", "fixpoint_s"),
+        ("Ray (blocking)", "ray_blocking_s"),
+        ("Ray (continuation-passing)", "ray_cps_s"),
+    ):
+        result.rows.append(
+            {
+                "system": f"[bptree-256] {label}",
+                "value": row[column],
+                "paper_value": FIG9_ARITY256[label],
+            }
+        )
+    result.notes.append(
+        "wordcount rows use the scaled shard count; see fig8b for full scale"
+    )
+    return result

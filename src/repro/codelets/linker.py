@@ -1,0 +1,108 @@
+"""The in-memory linker: codelet blobs -> ready-to-run entrypoints.
+
+Fixpoint contains a small in-memory ELF linker that links codelets against
+the Fixpoint API ahead of time, off the critical path (paper section
+4.1.1).  Our analog validates + ``compile()``s the codelet source once and
+caches the resulting entrypoint keyed by the blob's content - invoking a
+linked codelet is then a direct function call, exactly like Fixpoint
+jumping to ``_fix_apply``.
+
+Isolation note: each *invocation* executes the module body in a fresh
+sealed-globals namespace, so no mutable state survives between
+invocations (the sandbox additionally rejects module-level mutable
+state, making the re-execution cheap: only ``def`` statements run).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from types import CodeType
+from typing import Callable, Dict
+
+from ..core.api import FixAPI
+from ..core.errors import CodeletError, FixError, NotAFunctionError
+from ..core.handle import Handle
+from ..core.storage import Repository
+from .sandbox import ENTRYPOINT, seal_globals, validate_source
+from .toolchain import CodeletImage
+
+Entrypoint = Callable[[FixAPI, Handle], Handle]
+
+
+@dataclass
+class LinkedCodelet:
+    """A codelet ready to run: compiled module code plus metadata."""
+
+    name: str
+    handle: Handle
+    module_code: CodeType
+
+    def instantiate(self) -> Entrypoint:
+        """Fresh entrypoint with a sealed, isolated namespace."""
+        env = seal_globals()
+        exec(self.module_code, env)  # runs only def-statements (validated)
+        entry = env.get(ENTRYPOINT)
+        if not callable(entry):
+            raise NotAFunctionError(f"codelet {self.name!r} lost its entrypoint")
+        return entry
+
+    def run(self, fix: FixAPI, input_handle: Handle) -> Handle:
+        """Invoke ``_fix_apply``; wrap escaped exceptions as CodeletError."""
+        entry = self.instantiate()
+        try:
+            result = entry(fix, input_handle)
+        except FixError:
+            # Platform errors (access violations, resource limits, missing
+            # objects) propagate as themselves - they are the runtime
+            # speaking, not the codelet.
+            raise
+        except Exception as exc:  # noqa: BLE001 - user code boundary
+            raise CodeletError(
+                f"codelet {self.name!r} raised {type(exc).__name__}: {exc}",
+                codelet=self.handle,
+            ) from exc
+        if not isinstance(result, Handle):
+            raise CodeletError(
+                f"codelet {self.name!r} returned {type(result).__name__}, "
+                "expected a Handle",
+                codelet=self.handle,
+            )
+        return result
+
+
+class Linker:
+    """Thread-safe cache of linked codelets, keyed by blob content."""
+
+    def __init__(self, repo: Repository):
+        self.repo = repo
+        self._lock = threading.Lock()
+        self._cache: Dict[bytes, LinkedCodelet] = {}
+        self.links = 0  # number of cold links performed
+
+    def link(self, handle: Handle) -> LinkedCodelet:
+        """Link (or fetch the cached link of) the codelet blob at ``handle``."""
+        key = handle.content_key()
+        with self._lock:
+            cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        raw = self.repo.get_blob(handle).data
+        image = CodeletImage.unpack(raw)
+        # Defense in depth: the linker refuses anything the toolchain would.
+        validate_source(image.source, source_name=image.name)
+        module_code = compile(image.source, f"<codelet:{image.name}>", "exec")
+        linked = LinkedCodelet(name=image.name, handle=handle, module_code=module_code)
+        with self._lock:
+            self._cache.setdefault(key, linked)
+            self.links += 1
+        return linked
+
+    def prelink(self, handles) -> None:
+        """Ahead-of-time link a batch of codelets (off the critical path)."""
+        for handle in handles:
+            self.link(handle)
+
+    def cache_size(self) -> int:
+        with self._lock:
+            return len(self._cache)

@@ -1,0 +1,29 @@
+"""``repro.fixpoint`` - the executable in-process Fixpoint runtime.
+
+A multi-worker evaluator for Fix programs (paper section 4.2): shared
+runtime storage, ahead-of-time linked codelets, a shared job queue, and
+direct-jump invocation with no processes or containers on the hot path.
+"""
+
+from .billing import Bill, InvocationMeter, bill_effort, bill_results, job_bill
+from .jobs import Job, JobQueue
+from .net import Channel, FixpointNode, NetworkError
+from .runtime import Fixpoint
+from .tracing import InvocationRecord, Stopwatch, Trace
+
+__all__ = [
+    "Bill",
+    "Channel",
+    "Fixpoint",
+    "FixpointNode",
+    "InvocationMeter",
+    "InvocationRecord",
+    "Job",
+    "JobQueue",
+    "NetworkError",
+    "Stopwatch",
+    "Trace",
+    "bill_effort",
+    "bill_results",
+    "job_bill",
+]

@@ -1,0 +1,81 @@
+"""Invocation tracing for the Fixpoint runtime.
+
+Records what the runtime actually did - invocations, per-invocation wall
+time, bytes mapped and created - without ever exposing a clock to user
+codelets (determinism is preserved: traces are runtime-side only).
+
+The trace feeds three consumers: tests (asserting invocation counts match
+the paper's Table 2 formulas), the fig. 9 cost model (converting measured
+operation counts into simulated latencies), and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class InvocationRecord:
+    """One codelet invocation as observed by the runtime."""
+
+    function: str
+    wall_seconds: float
+    bytes_mapped: int
+    worker: str
+
+
+@dataclass
+class Trace:
+    """Aggregated runtime activity; thread-safe."""
+
+    records: List[InvocationRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, record: InvocationRecord) -> None:
+        with self._lock:
+            self.records.append(record)
+
+    def invocation_count(self, function: Optional[str] = None) -> int:
+        with self._lock:
+            if function is None:
+                return len(self.records)
+            return sum(1 for r in self.records if r.function == function)
+
+    def total_bytes_mapped(self) -> int:
+        with self._lock:
+            return sum(r.bytes_mapped for r in self.records)
+
+    def total_wall_seconds(self) -> float:
+        with self._lock:
+            return sum(r.wall_seconds for r in self.records)
+
+    def by_function(self) -> Dict[str, int]:
+        with self._lock:
+            out: Dict[str, int] = {}
+            for r in self.records:
+                out[r.function] = out.get(r.function, 0) + 1
+            return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self.records.clear()
+
+
+class Stopwatch:
+    """Context manager measuring wall time for one invocation."""
+
+    __slots__ = ("elapsed", "_start")
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start

@@ -1,0 +1,122 @@
+"""A tar-like archive format plus a simple compressor (SeBS compression).
+
+SeBS's ``compression`` function downloads a bucket's files and creates a
+compressed archive.  Python's zlib is an import - forbidden inside
+codelets - so the reproduction defines its own deterministic pure-Python
+format, implementable both host-side (this module, fully tested) and
+inline in a codelet:
+
+Archive layout (all integers ASCII-decimal)::
+
+    FIXAR<count>\\n
+    <name-length> <payload-length>\\n<name><payload>   (repeated)
+
+Compression: byte-level run-length encoding with an escape marker -
+``0xFE count byte`` for runs of 4..255, ``0xFE 0x00 0xFE`` escaping the
+marker itself.  Not a great ratio, but a real, reversible codec whose
+round-trip property tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.errors import FixError
+
+MAGIC = b"FIXAR"
+_MARK = 0xFE
+
+
+class ArchiveError(FixError):
+    """Malformed archive or compressed stream."""
+
+
+def create_archive(files: Dict[str, bytes]) -> bytes:
+    """Pack ``files`` (name -> payload) in sorted-name order."""
+    parts: List[bytes] = [MAGIC + str(len(files)).encode() + b"\n"]
+    for name in sorted(files):
+        raw = name.encode("utf-8")
+        payload = files[name]
+        parts.append(
+            str(len(raw)).encode() + b" " + str(len(payload)).encode() + b"\n"
+        )
+        parts.append(raw)
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def extract_archive(data: bytes) -> Dict[str, bytes]:
+    if not data.startswith(MAGIC):
+        raise ArchiveError("bad archive magic")
+    newline = data.index(b"\n")
+    count = int(data[len(MAGIC) : newline])
+    pos = newline + 1
+    out: Dict[str, bytes] = {}
+    for _ in range(count):
+        newline = data.index(b"\n", pos)
+        name_len_raw, _, payload_len_raw = data[pos:newline].partition(b" ")
+        name_len, payload_len = int(name_len_raw), int(payload_len_raw)
+        pos = newline + 1
+        name = data[pos : pos + name_len].decode("utf-8")
+        pos += name_len
+        payload = data[pos : pos + payload_len]
+        if len(payload) != payload_len:
+            raise ArchiveError(f"truncated payload for {name!r}")
+        pos += payload_len
+        out[name] = payload
+    if pos != len(data):
+        raise ArchiveError("trailing bytes after archive")
+    return out
+
+
+def compress(data: bytes) -> bytes:
+    """Run-length encode ``data`` (escape marker 0xFE)."""
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while i < n:
+        byte = data[i]
+        run = 1
+        while i + run < n and run < 255 and data[i + run] == byte:
+            run += 1
+        if run >= 4:
+            out += bytes((_MARK, run, byte))
+            i += run
+        elif byte == _MARK:
+            out += bytes((_MARK, 0, _MARK))
+            i += 1
+        else:
+            out.append(byte)
+            i += 1
+    return bytes(out)
+
+
+def decompress(data: bytes) -> bytes:
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while i < n:
+        byte = data[i]
+        if byte != _MARK:
+            out.append(byte)
+            i += 1
+            continue
+        if i + 2 >= n:
+            raise ArchiveError("truncated RLE escape")
+        count, value = data[i + 1], data[i + 2]
+        if count == 0:
+            if value != _MARK:
+                raise ArchiveError("bad escape sequence")
+            out.append(_MARK)
+        else:
+            out += bytes([value]) * count
+        i += 3
+    return bytes(out)
+
+
+def compress_archive(files: Dict[str, bytes]) -> bytes:
+    return compress(create_archive(files))
+
+
+def extract_compressed(data: bytes) -> Dict[str, bytes]:
+    return extract_archive(decompress(data))

@@ -1,0 +1,152 @@
+"""A miniature Jinja-style template engine (for the SeBS dynamic-html port).
+
+SeBS's ``dynamic-html`` renders an HTML page from a template with the
+Jinja library; the paper ports it to Fix via Flatware.  This module is the
+reproduction's "jinja2 dependency": a deterministic, dependency-free
+subset supporting::
+
+    {{ variable }}            - substitution (dotted lookups allowed)
+    {% for x in seq %}...{% endfor %}
+    {% if cond %}...{% else %}...{% endif %}   - truthiness of a variable
+
+It is deliberately small but real: parsed into an AST, rendered
+recursively, with informative errors - and it is sandbox-compatible, so
+codelets can embed the same logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Union
+
+from ..core.errors import FixError
+
+
+class TemplateError(FixError):
+    """Malformed template or failed lookup."""
+
+
+@dataclass
+class _Text:
+    text: str
+
+
+@dataclass
+class _Var:
+    path: str
+
+
+@dataclass
+class _For:
+    var: str
+    seq: str
+    body: List[Any] = field(default_factory=list)
+
+
+@dataclass
+class _If:
+    cond: str
+    then: List[Any] = field(default_factory=list)
+    otherwise: List[Any] = field(default_factory=list)
+
+
+Node = Union[_Text, _Var, _For, _If]
+
+
+def _tokenize(source: str) -> List[str]:
+    tokens: List[str] = []
+    i = 0
+    while i < len(source):
+        var = source.find("{{", i)
+        tag = source.find("{%", i)
+        nxt = min(x for x in (var, tag, len(source)) if x >= 0)
+        if nxt > i:
+            tokens.append(source[i:nxt])
+            i = nxt
+            continue
+        close = "}}" if source.startswith("{{", i) else "%}"
+        end = source.find(close, i)
+        if end < 0:
+            raise TemplateError(f"unterminated tag at offset {i}")
+        tokens.append(source[i : end + 2])
+        i = end + 2
+    return tokens
+
+
+def _parse(tokens: List[str], pos: int, terminators: tuple) -> tuple:
+    nodes: List[Node] = []
+    while pos < len(tokens):
+        token = tokens[pos]
+        if token.startswith("{{"):
+            nodes.append(_Var(token[2:-2].strip()))
+            pos += 1
+        elif token.startswith("{%"):
+            body = token[2:-2].strip()
+            keyword = body.split()[0] if body else ""
+            if keyword in terminators:
+                return nodes, pos, keyword
+            if keyword == "for":
+                parts = body.split()
+                if len(parts) != 4 or parts[2] != "in":
+                    raise TemplateError(f"bad for tag: {body!r}")
+                node = _For(var=parts[1], seq=parts[3])
+                node.body, pos, _ = _parse(tokens, pos + 1, ("endfor",))
+                nodes.append(node)
+                pos += 1
+            elif keyword == "if":
+                parts = body.split()
+                if len(parts) != 2:
+                    raise TemplateError(f"bad if tag: {body!r}")
+                node = _If(cond=parts[1])
+                node.then, pos, stop = _parse(tokens, pos + 1, ("else", "endif"))
+                if stop == "else":
+                    node.otherwise, pos, _ = _parse(tokens, pos + 1, ("endif",))
+                nodes.append(node)
+                pos += 1
+            else:
+                raise TemplateError(f"unknown tag: {body!r}")
+        else:
+            nodes.append(_Text(token))
+            pos += 1
+    if terminators:
+        raise TemplateError(f"missing closing tag {terminators}")
+    return nodes, pos, ""
+
+
+def _lookup(path: str, context: Dict[str, Any]) -> Any:
+    current: Any = context
+    for part in path.split("."):
+        if isinstance(current, dict) and part in current:
+            current = current[part]
+        else:
+            raise TemplateError(f"undefined variable {path!r}")
+    return current
+
+
+def _render_nodes(nodes: List[Node], context: Dict[str, Any], out: List[str]) -> None:
+    for node in nodes:
+        if isinstance(node, _Text):
+            out.append(node.text)
+        elif isinstance(node, _Var):
+            out.append(str(_lookup(node.path, context)))
+        elif isinstance(node, _For):
+            seq = _lookup(node.seq, context)
+            for item in seq:
+                scoped = dict(context)
+                scoped[node.var] = item
+                _render_nodes(node.body, scoped, out)
+        elif isinstance(node, _If):
+            try:
+                value = _lookup(node.cond, context)
+            except TemplateError:
+                value = None
+            branch = node.then if value else node.otherwise
+            _render_nodes(branch, context, out)
+
+
+def render(source: str, context: Dict[str, Any]) -> str:
+    """Render ``source`` against ``context``."""
+    nodes, _, __ = _parse(_tokenize(source), 0, ())
+    out: List[str] = []
+    _render_nodes(nodes, context, out)
+    return "".join(out)

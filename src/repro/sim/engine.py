@@ -1,0 +1,252 @@
+"""A small deterministic discrete-event simulation engine.
+
+The paper's evaluation (section 5) runs on 10-node EC2 clusters; this
+engine is the substitute substrate: simulated time, generator-based
+processes, events, and a strictly deterministic event order (ties broken
+by schedule sequence), so every experiment is exactly reproducible.
+
+The programming model mirrors SimPy's, implemented from scratch:
+
+* a *process* is a generator that ``yield``s :class:`Event` objects and is
+  resumed with the event's value;
+* :meth:`Simulator.timeout` makes a delay event;
+* :class:`Event` can be succeeded or failed exactly once; failing an event
+  re-raises the exception inside every waiting process;
+* :func:`all_of` joins several events.
+
+Example::
+
+    sim = Simulator()
+
+    def worker(sim, results):
+        yield sim.timeout(1.5)
+        results.append(sim.now)
+
+    results = []
+    sim.process(worker(sim, results))
+    sim.run()
+    assert results == [1.5]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from ..core.errors import SimulationError
+
+ProcessGen = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence carrying a value or an exception."""
+
+    __slots__ = ("sim", "_callbacks", "_done", "_ok", "value", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._callbacks: List[Callable[[Event], None]] = []
+        self._done = False
+        self._ok = False
+        self.value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._done
+
+    @property
+    def ok(self) -> bool:
+        return self._done and self._ok
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._done:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._done = True
+        self._ok = True
+        self.value = value
+        self._fire()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._done:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._done = True
+        self._ok = False
+        self.value = exc
+        self._fire()
+        return self
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim._schedule_call(callback, self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._done:
+            self.sim._schedule_call(callback, self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Process(Event):
+    """An event that completes when its generator returns."""
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
+        super().__init__(sim, name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        sim._schedule_call(self._resume, _Bootstrap(sim))
+
+    def _resume(self, event: Event) -> None:
+        if self._done:
+            raise SimulationError(f"process {self.name!r} resumed after completion")
+        try:
+            if event.ok or isinstance(event, _Bootstrap):
+                target = self._gen.send(event.value)
+            else:
+                target = self._gen.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            if isinstance(exc, SimulationError):
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, "
+                "expected an Event"
+            )
+        target.add_callback(self._resume)
+
+
+class _Bootstrap(Event):
+    """Internal: kicks off a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator"):
+        super().__init__(sim, "bootstrap")
+        self._done = True
+        self._ok = True
+
+
+class Simulator:
+    """The event loop: a heap of (time, seq, callback, event)."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[[Event], None], Event]] = []
+        self._seq = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+
+    def _schedule_call(
+        self, callback: Callable[[Event], None], event: Event, delay: float = 0.0
+    ) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback, event))
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that succeeds ``delay`` simulated seconds from now."""
+        event = Event(self, f"timeout({delay})")
+        self._schedule_call(lambda e: e.succeed(value), event, delay)
+        return event
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    # ------------------------------------------------------------------
+    # Running
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event heap; returns the final simulated time."""
+        self._running = True
+        try:
+            while self._heap:
+                time, _seq, callback, event = self._heap[0]
+                if until is not None and time > until:
+                    self.now = until
+                    return self.now
+                heapq.heappop(self._heap)
+                if time < self.now:
+                    raise SimulationError("time moved backwards")
+                self.now = time
+                callback(event)
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until(self, event: Event) -> Any:
+        """Run until ``event`` triggers; returns its value (or raises)."""
+        while not event.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: event {event.name!r} can never trigger"
+                )
+            time, _seq, callback, target = heapq.heappop(self._heap)
+            if time < self.now:
+                raise SimulationError("time moved backwards")
+            self.now = time
+            callback(target)
+        if not event.ok:
+            raise event.value
+        return event.value
+
+
+def all_of(sim: Simulator, events: Iterable[Event]) -> Event:
+    """An event succeeding when every input has succeeded.
+
+    Fails fast with the first failure.  The value is the list of event
+    values in input order.
+    """
+    events = list(events)
+    joined = sim.event("all_of")
+    remaining = len(events)
+    if remaining == 0:
+        return joined.succeed([])
+
+    def on_done(event: Event) -> None:
+        nonlocal remaining
+        if joined.triggered:
+            return
+        if not event.ok:
+            joined.fail(event.value)
+            return
+        remaining -= 1
+        if remaining == 0:
+            joined.succeed([e.value for e in events])
+
+    for event in events:
+        event.add_callback(on_done)
+    return joined
+
+
+def any_of(sim: Simulator, events: Iterable[Event]) -> Event:
+    """An event succeeding when the first input succeeds."""
+    events = list(events)
+    joined = sim.event("any_of")
+
+    def on_done(event: Event) -> None:
+        if joined.triggered:
+            return
+        if event.ok:
+            joined.succeed(event.value)
+        else:
+            joined.fail(event.value)
+
+    for event in events:
+        event.add_callback(on_done)
+    if not events:
+        joined.succeed(None)
+    return joined

@@ -1,0 +1,26 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.storage import Repository
+from repro.fixpoint.runtime import Fixpoint
+
+
+@pytest.fixture
+def repo() -> Repository:
+    return Repository()
+
+
+@pytest.fixture
+def fixpoint() -> Fixpoint:
+    """A sequential (single-threaded) Fixpoint with the stdlib compiled."""
+    return Fixpoint(workers=0)
+
+
+@pytest.fixture
+def parallel_fixpoint():
+    """A 4-worker Fixpoint, closed after the test."""
+    with Fixpoint(workers=4) as fp:
+        yield fp

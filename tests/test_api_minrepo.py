@@ -1,0 +1,191 @@
+"""Tests for the FixAPI capability surface and minimum repositories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import FixAPI
+from repro.core.errors import AccessError, ResourceLimitError
+from repro.core.handle import Handle
+from repro.core.limits import ResourceLimits
+from repro.core.minrepo import check_derivation, footprint
+from repro.core.thunks import make_application, make_identification, strict
+
+
+@pytest.fixture
+def setup(repo):
+    """An input tree [a, nested[b], ref] and an API rooted at it."""
+    a = repo.put_blob(b"a" * 64)
+    b = repo.put_blob(b"b" * 64)
+    hidden = repo.put_blob(b"h" * 64)
+    nested = repo.put_tree([b])
+    root = repo.put_tree([a, nested, hidden.as_ref()])
+    api = FixAPI(repo, root)
+    return api, root, a, b, nested, hidden
+
+
+class TestAccessControl:
+    def test_can_read_input_tree(self, setup):
+        api, root, a, *_ = setup
+        children = api.read_tree(root)
+        assert children[0] == a
+
+    def test_can_read_children_after_mapping(self, setup):
+        api, root, a, b, nested, _ = setup
+        api.read_tree(root)
+        assert api.read_blob(a) == b"a" * 64
+        api.read_tree(nested)
+        assert api.read_blob(b) == b"b" * 64
+
+    def test_cannot_read_unmapped_grandchild(self, setup):
+        api, root, _, b, _, _ = setup
+        api.read_tree(root)
+        # b is under nested, which has not been mapped yet
+        with pytest.raises(AccessError):
+            api.read_blob(b)
+
+    def test_cannot_read_ref(self, setup):
+        api, root, *_, hidden = setup
+        api.read_tree(root)
+        with pytest.raises(AccessError):
+            api.read_blob(hidden.as_ref())
+
+    def test_cannot_read_conjured_handle(self, setup, repo):
+        api, *_ = setup
+        outside = repo.put_blob(b"outside" * 10)
+        with pytest.raises(AccessError):
+            api.read_blob(outside)
+
+    def test_ref_metadata_is_visible(self, setup):
+        api, *_, hidden = setup
+        ref = hidden.as_ref()
+        assert api.get_size(ref) == 64
+        assert api.is_ref(ref)
+        assert api.is_blob(ref)
+
+    def test_created_data_is_accessible(self, setup):
+        api, *_ = setup
+        handle = api.create_blob(b"fresh" * 20)
+        assert api.read_blob(handle) == b"fresh" * 20
+
+    def test_created_tree_is_accessible(self, setup, repo):
+        api, root, a, *_ = setup
+        api.read_tree(root)
+        tree = api.create_tree([a])
+        assert api.read_tree(tree) == (a,)
+
+    def test_literals_always_readable(self, setup):
+        api, *_ = setup
+        assert api.read_blob(Handle.of_blob(b"lit")) == b"lit"
+
+    def test_cannot_read_thunk(self, setup, repo):
+        api, *_ = setup
+        fn = repo.put_blob(b"f" * 64)
+        thunk = make_application(repo, fn, [])
+        with pytest.raises(AccessError):
+            api.read_tree(thunk)
+
+
+class TestMemoryMetering:
+    def test_limit_enforced_on_read(self, repo):
+        big = repo.put_blob(b"x" * 1000)
+        root = repo.put_tree([big])
+        api = FixAPI(repo, root, ResourceLimits(memory_bytes=500))
+        api.read_tree(root)
+        with pytest.raises(ResourceLimitError):
+            api.read_blob(big)
+
+    def test_limit_enforced_on_create(self, repo):
+        root = repo.put_tree([])
+        api = FixAPI(repo, root, ResourceLimits(memory_bytes=100))
+        with pytest.raises(ResourceLimitError):
+            api.create_blob(b"y" * 200)
+
+    def test_bytes_used_accumulates(self, repo):
+        root = repo.put_tree([])
+        api = FixAPI(repo, root)
+        api.create_blob(b"z" * 100)
+        assert api.bytes_used >= 100
+
+
+class TestThunkBuilding:
+    def test_invoke_builds_application(self, setup, repo):
+        api, root, a, *_ = setup
+        api.read_tree(root)
+        fn = api.create_blob(b"f" * 64)
+        thunk = api.invoke(fn, [a])
+        assert thunk.is_thunk
+        assert api.strict(thunk).is_encode
+        assert api.shallow(thunk).is_encode
+
+    def test_selection_builder(self, setup):
+        api, root, *_ = setup
+        thunk = api.selection(root, 1)
+        assert thunk.is_thunk
+
+    def test_identification_builder(self, setup):
+        api, *_, hidden = setup
+        thunk = api.identification(hidden.as_ref())
+        assert thunk.is_thunk
+
+
+class TestFootprint:
+    def test_object_tree_footprint_recurses(self, setup, repo):
+        _, root, a, b, nested, hidden = setup
+        fp = footprint(repo, root)
+        assert root in fp
+        assert a in fp
+        assert nested in fp
+        assert b in fp
+        assert hidden not in fp  # refs contribute metadata only
+        assert fp.data_bytes > 0
+
+    def test_thunk_footprint_includes_definition(self, repo):
+        fn = repo.put_blob(b"f" * 64)
+        arg = repo.put_blob(b"a" * 64)
+        thunk = make_application(repo, fn, [arg])
+        fp = footprint(repo, thunk)
+        assert fn in fp
+        assert arg in fp
+
+    def test_encode_is_pending(self, repo):
+        value = repo.put_blob(b"v" * 64)
+        encode = strict(make_identification(value.as_ref()))
+        tree = repo.put_tree([encode])
+        fp = footprint(repo, tree)
+        assert encode in fp.pending
+        assert value not in fp  # hidden behind the ref until evaluated
+
+    def test_bare_thunk_children_not_included(self, repo):
+        fn = repo.put_blob(b"f" * 64)
+        secret = repo.put_blob(b"s" * 64)
+        inner = make_application(repo, fn, [secret.as_ref()])
+        outer = repo.put_tree([inner])
+        fp = footprint(repo, outer)
+        assert secret not in fp
+
+    def test_footprint_subset(self, repo):
+        a = repo.put_blob(b"a" * 64)
+        b = repo.put_blob(b"b" * 64)
+        inner = repo.put_tree([a])
+        outer = repo.put_tree([a, b, inner])
+        small = footprint(repo, inner)
+        big = footprint(repo, outer)
+        assert small.is_subset_of(big)
+        assert not big.is_subset_of(small)
+
+    def test_check_derivation(self, repo):
+        a = repo.put_blob(b"a" * 64)
+        b = repo.put_blob(b"b" * 64)
+        fn = repo.put_blob(b"f" * 64)
+        parent_tree = repo.put_tree([a, fn])
+        parent_fp = footprint(repo, parent_tree)
+        # Child using only parent data: legal.
+        child_ok = make_application(repo, fn, [a])
+        assert check_derivation(repo, parent_fp, child_ok)
+        # Child smuggling unrelated data: illegal.
+        child_bad = make_application(repo, fn, [b])
+        assert not check_derivation(repo, parent_fp, child_bad)
+        # ...unless the parent created it.
+        created = frozenset({b.content_key()})
+        assert check_derivation(repo, parent_fp, child_bad, created=created)

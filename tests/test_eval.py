@@ -1,0 +1,192 @@
+"""Tests for the Fix evaluator: forcing rules, encodes, memoization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import EvaluationError, SelectionError
+from repro.core.eval import Evaluator
+from repro.core.handle import Handle
+from repro.core.storage import Repository
+from repro.core.thunks import (
+    make_identification,
+    make_selection,
+    make_selection_range,
+    pack_index,
+    shallow,
+    strict,
+)
+
+
+@pytest.fixture
+def ev(repo):
+    return Evaluator(repo)
+
+
+class TestIdentification:
+    def test_strict_identification_yields_object(self, repo, ev):
+        value = repo.put_blob(b"v" * 64)
+        result = ev.eval_encode(strict(make_identification(value.as_ref())))
+        assert result.is_object
+        assert result.content_key() == value.content_key()
+
+    def test_shallow_identification_yields_ref(self, repo, ev):
+        value = repo.put_blob(b"v" * 64)
+        result = ev.eval_encode(shallow(make_identification(value)))
+        assert result.is_ref
+        assert result.content_key() == value.content_key()
+
+    def test_shallow_of_literal_stays_literal(self, repo, ev):
+        value = repo.put_blob(b"tiny")
+        result = ev.eval_encode(shallow(make_identification(value)))
+        assert result.is_literal  # literals cannot be hidden
+
+
+class TestSelection:
+    def test_select_tree_child(self, repo, ev):
+        a = repo.put_blob(b"a" * 64)
+        b = repo.put_blob(b"b" * 64)
+        target = repo.put_tree([a, b])
+        result = ev.eval_encode(strict(make_selection(repo, target, 1)))
+        assert result.content_key() == b.content_key()
+
+    def test_select_tree_range_makes_subtree(self, repo, ev):
+        children = [repo.put_blob(bytes([i]) * 64) for i in range(5)]
+        target = repo.put_tree(children)
+        result = ev.eval_encode(strict(make_selection_range(repo, target, 1, 4)))
+        sub = repo.get_tree(result)
+        assert list(sub) == children[1:4]
+
+    def test_select_blob_byte(self, repo, ev):
+        target = repo.put_blob(b"0123456789" * 7)
+        result = ev.eval_encode(strict(make_selection(repo, target, 3)))
+        assert repo.get_blob(result).data == b"3"
+
+    def test_select_blob_range(self, repo, ev):
+        target = repo.put_blob(b"0123456789" * 7)
+        result = ev.eval_encode(strict(make_selection_range(repo, target, 0, 10)))
+        assert repo.get_blob(result).data == b"0123456789"
+
+    def test_out_of_range(self, repo, ev):
+        target = repo.put_tree([repo.put_blob(b"a" * 64)])
+        with pytest.raises(SelectionError):
+            ev.eval_encode(strict(make_selection(repo, target, 5)))
+
+    def test_selection_through_thunk_target(self, repo, ev):
+        inner_child = repo.put_blob(b"deep" * 20)
+        inner = repo.put_tree([inner_child])
+        outer = repo.put_tree([repo.put_blob(b"pad" * 30), inner])
+        first = make_selection(repo, outer, 1)  # forces to the inner tree
+        chained = repo.put_tree([first, pack_index(0)]).make_selection()
+        result = ev.eval_encode(strict(chained))
+        assert result.content_key() == inner_child.content_key()
+
+    def test_selection_returns_child_asis_even_if_ref(self, repo, ev):
+        hidden = repo.put_blob(b"h" * 64).as_ref()
+        target = repo.put_tree([hidden])
+        result = ev.eval_encode(shallow(make_selection(repo, target, 0)))
+        assert result.is_ref
+
+    @given(st.lists(st.binary(min_size=31, max_size=40), min_size=1, max_size=8), st.data())
+    def test_selection_matches_python_indexing(self, payloads, data):
+        repo = Repository()
+        ev = Evaluator(repo)
+        children = [repo.put_blob(p) for p in payloads]
+        target = repo.put_tree(children)
+        index = data.draw(st.integers(min_value=0, max_value=len(children) - 1))
+        result = ev.eval_encode(strict(make_selection(repo, target, index)))
+        assert result.content_key() == children[index].content_key()
+
+
+class TestStrictDeepResolution:
+    def test_nested_encode_in_tree_is_resolved(self, repo, ev):
+        value = repo.put_blob(b"v" * 64)
+        encode = strict(make_identification(value.as_ref()))
+        tree = repo.put_tree([encode, repo.put_blob(b"w" * 64)])
+        result = ev.eval(tree)
+        resolved = repo.get_tree(result)
+        assert resolved[0].is_object
+        assert resolved[0].content_key() == value.content_key()
+
+    def test_ref_entries_are_preserved(self, repo, ev):
+        ref = repo.put_blob(b"r" * 64).as_ref()
+        tree = repo.put_tree([ref])
+        result = ev.eval(tree)
+        assert repo.get_tree(result)[0].is_ref
+
+    def test_plain_blob_eval_is_identity(self, repo, ev):
+        value = repo.put_blob(b"p" * 64)
+        assert ev.eval(value) == value
+
+    def test_unchanged_tree_keeps_handle(self, repo, ev):
+        tree = repo.put_tree([repo.put_blob(b"a" * 64)])
+        assert ev.eval(tree).content_key() == tree.content_key()
+
+    def test_nested_tree_resolution(self, repo, ev):
+        value = repo.put_blob(b"n" * 64)
+        inner = repo.put_tree([strict(make_identification(value.as_ref()))])
+        outer = repo.put_tree([inner])
+        result = ev.eval(outer)
+        inner_resolved = repo.get_tree(repo.get_tree(result)[0])
+        assert inner_resolved[0].content_key() == value.content_key()
+
+
+class TestMemoization:
+    def test_encode_result_is_memoized(self, repo):
+        ev = Evaluator(repo)
+        value = repo.put_blob(b"m" * 64)
+        encode = strict(make_identification(value))
+        first = ev.eval_encode(encode)
+        baseline_hits = ev.stats.memo_hits
+        second = ev.eval_encode(encode)
+        assert first == second
+        assert ev.stats.memo_hits == baseline_hits + 1
+
+    def test_memoization_shared_across_evaluators(self, repo):
+        value = repo.put_blob(b"s" * 64)
+        encode = strict(make_identification(value))
+        Evaluator(repo).eval_encode(encode)
+        ev2 = Evaluator(repo)
+        ev2.eval_encode(encode)
+        assert ev2.stats.memo_hits == 1
+
+    def test_memoize_false_recomputes(self, repo):
+        ev = Evaluator(repo, memoize=False)
+        value = repo.put_blob(b"n" * 64)
+        encode = strict(make_identification(value))
+        ev.eval_encode(encode)
+        ev.eval_encode(encode)
+        assert ev.stats.memo_hits == 0
+        assert ev.stats.identifications == 2
+
+    def test_determinism(self, repo):
+        value = repo.put_blob(b"d" * 64)
+        encode = strict(make_identification(value.as_ref()))
+        results = {Evaluator(repo).eval_encode(encode) for _ in range(3)}
+        assert len(results) == 1
+
+
+class TestErrors:
+    def test_application_without_apply_hook(self, repo, ev):
+        fn = repo.put_blob(b"f" * 64)
+        thunk = repo.put_tree(
+            [repo.put_blob(b"\x00" * 16), fn]
+        ).make_application()
+        with pytest.raises(EvaluationError):
+            ev.eval_encode(strict(thunk))
+
+    def test_eval_encode_requires_encode(self, repo, ev):
+        with pytest.raises(EvaluationError):
+            ev.eval_encode(repo.put_blob(b"x" * 64))
+
+    def test_stats_counting(self, repo, ev):
+        value = repo.put_blob(b"c" * 64)
+        target = repo.put_tree([value])
+        ev.eval_encode(strict(make_selection(repo, target, 0)))
+        ev.eval_encode(shallow(make_identification(value)))
+        assert ev.stats.selections == 1
+        assert ev.stats.identifications == 1
+        assert ev.stats.strict_encodes == 1
+        assert ev.stats.shallow_encodes == 1

@@ -1,0 +1,138 @@
+"""Tests for the executing multi-node runtime (wire-format delegation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codelets.stdlib import ADD_U8_SOURCE, blob_int, int_blob
+from repro.core.errors import MissingObjectError
+from repro.core.thunks import make_application, make_identification, strict
+from repro.fixpoint.net import FixpointNode, NetworkError
+
+
+@pytest.fixture
+def pair():
+    a = FixpointNode("alpha")
+    b = FixpointNode("beta")
+    a.connect(b)
+    return a, b
+
+
+def add_encode(node, x, y):
+    repo = node.repo
+    fn = node.runtime.stdlib["add_u8"]
+    return node.runtime.invoke(
+        fn, [repo.put_blob(int_blob(x, 1)), repo.put_blob(int_blob(y, 1))]
+    ).wrap_strict()
+
+
+class TestDelegation:
+    def test_delegate_computes_remotely(self, pair):
+        a, b = pair
+        encode = add_encode(a, 20, 22)
+        result = a.delegate("beta", encode)
+        assert blob_int(a.repo.get_blob(result).data) == 42
+        assert b.delegations_served == 1
+        assert a.delegations_sent == 1
+
+    def test_bytes_actually_cross_the_wire(self, pair):
+        a, b = pair
+        encode = add_encode(a, 1, 2)
+        a.delegate("beta", encode)
+        channel = a.peers["beta"]
+        assert channel.bytes_ab > 32  # request: encode + codelet bundle
+        assert channel.bytes_ba > 32  # response: result + data
+
+    def test_view_makes_repeat_delegation_cheaper(self, pair):
+        a, b = pair
+        # A codelet only alpha has (compiled after the inventory
+        # exchange), padded so its shipping cost is visible.
+        source = (
+            '"""'
+            + "p" * 600
+            + '"""\n'
+            "def _fix_apply(fix, input):\n"
+            "    entries = fix.read_tree(input)\n"
+            "    n = int.from_bytes(fix.read_blob(entries[2]), 'little')\n"
+            "    return fix.create_blob((n + 1).to_bytes(8, 'little'))\n"
+        )
+        fn = a.runtime.compile(source, "fat-inc")
+
+        def encode_for(n):
+            return a.runtime.invoke(
+                fn, [a.repo.put_blob(int_blob(n))]
+            ).wrap_strict()
+
+        a.delegate("beta", encode_for(1))
+        sent_after_first = a.peers["beta"].bytes_ab
+        a.delegate("beta", encode_for(2))  # same codelet, new argument
+        sent_after_second = a.peers["beta"].bytes_ab
+        # The fat codelet blob is not re-shipped: the view knows beta has it.
+        first_cost = sent_after_first
+        second_cost = sent_after_second - sent_after_first
+        assert second_cost < first_cost / 2
+
+    def test_result_memoized_locally(self, pair):
+        a, b = pair
+        encode = add_encode(a, 5, 6)
+        result = a.delegate("beta", encode)
+        # A local evaluation now hits the memo - zero invocations here.
+        local = a.runtime.eval(encode)
+        assert local == result
+        assert a.runtime.trace.invocation_count() == 0
+
+    def test_delegate_data_dependency(self, pair):
+        """Ship a 1 KiB blob dependency with the job."""
+        a, b = pair
+        payload = bytes(range(256)) * 4
+        blob = a.repo.put_blob(payload)
+        encode = strict(make_identification(blob))
+        result = a.delegate("beta", encode)
+        assert b.repo.get_blob(result).data == payload
+
+    def test_unknown_peer(self, pair):
+        a, _ = pair
+        with pytest.raises(NetworkError):
+            a.delegate("gamma", add_encode(a, 1, 1))
+
+
+class TestEvalAnywhere:
+    def test_local_when_possible(self, pair):
+        a, _ = pair
+        encode = add_encode(a, 2, 3)
+        result = a.eval_anywhere(encode)
+        assert blob_int(a.repo.get_blob(result).data) == 5
+        assert a.delegations_sent == 0  # everything was local
+
+    def test_follows_the_data(self):
+        """The function's code lives on beta: alpha sends the job there."""
+        a = FixpointNode("alpha")
+        b = FixpointNode("beta")
+        # A codelet that exists only on beta (not part of the stdlib both
+        # nodes share); connect *afterwards* so the inventory exchange
+        # tells alpha that beta holds it.
+        fn = b.runtime.compile(
+            "def _fix_apply(fix, input):\n"
+            "    entries = fix.read_tree(input)\n"
+            "    a = int.from_bytes(fix.read_blob(entries[2]), 'little')\n"
+            "    b = int.from_bytes(fix.read_blob(entries[3]), 'little')\n"
+            "    return fix.create_blob((a * b).to_bytes(8, 'little'))\n",
+            "mul",
+        )
+        a.connect(b)
+        x = a.repo.put_blob(int_blob(7))
+        y = a.repo.put_blob(int_blob(8))
+        # Alpha builds the invocation against beta's code handle.
+        thunk = make_application(a.repo, fn, [x, y])
+        # Alpha cannot run it: the codelet blob is not local.
+        result = a.eval_anywhere(thunk.wrap_strict())
+        assert blob_int(a.repo.get_blob(result).data) == 56
+        assert a.delegations_sent == 1
+
+    def test_three_node_chain(self):
+        a, b, c = FixpointNode("a"), FixpointNode("b"), FixpointNode("c")
+        a.connect(b)
+        b.connect(c)
+        encode = add_encode(b, 10, 20)
+        # b can serve both ends.
+        assert blob_int(b.repo.get_blob(b.eval_anywhere(encode)).data) == 30

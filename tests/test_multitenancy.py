@@ -1,0 +1,108 @@
+"""Tests for ultra-high-density multitenancy packing (paper section 6)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SchedulingError
+from repro.dist.multitenancy import (
+    AppProfile,
+    Phase,
+    density_ratio,
+    footprint_aware_packing,
+    peak_reservation_packing,
+    spiky_workload,
+    validate_packing,
+)
+
+GB = 1 << 30
+
+
+class TestProfiles:
+    def test_profile_queries(self):
+        app = AppProfile("a", (Phase(1.0, 4 * GB), Phase(9.0, 1 * GB)))
+        assert app.peak_bytes == 4 * GB
+        assert app.lifetime == 10.0
+        assert app.memory_at(0.5) == 4 * GB
+        assert app.memory_at(5.0) == 1 * GB
+        assert app.memory_at(100.0) == 0
+        assert app.mem_time_integral() == 1.0 * 4 * GB + 9.0 * 1 * GB
+
+    def test_invalid_phases_rejected(self):
+        with pytest.raises(SchedulingError):
+            Phase(0.0, 1)
+        with pytest.raises(SchedulingError):
+            Phase(1.0, -1)
+        with pytest.raises(SchedulingError):
+            AppProfile("empty", ())
+
+
+class TestPacking:
+    def test_peak_packing_reserves_peaks(self):
+        apps = [AppProfile(f"a{i}", (Phase(1.0, 3 * GB),)) for i in range(4)]
+        packing = peak_reservation_packing(apps, capacity_bytes=8 * GB)
+        assert packing.bin_count == 2  # 2 x 3 GB per 8 GB bin
+        validate_packing(packing)
+
+    def test_footprint_packing_interleaves_staggered_spikes(self):
+        apps = spiky_workload(
+            16, peak_bytes=4 * GB, sustained_bytes=256 << 20, stagger_slots=8
+        )
+        aware, peak, ratio = density_ratio(apps, capacity_bytes=8 * GB)
+        assert ratio > 2.0, f"expected big density win, got {ratio}"
+        assert aware.apps_per_bin() > peak.apps_per_bin()
+
+    def test_aligned_spikes_cannot_overlap(self):
+        # All spikes at t=0: profile knowledge cannot conjure capacity.
+        apps = spiky_workload(
+            8, peak_bytes=4 * GB, sustained_bytes=256 << 20, stagger_slots=1
+        )
+        aware, peak, ratio = density_ratio(apps, capacity_bytes=8 * GB)
+        assert aware.bin_count == peak.bin_count  # 2 spikes per bin, both models
+
+    def test_oversized_app_rejected(self):
+        giant = AppProfile("g", (Phase(1.0, 100 * GB),))
+        with pytest.raises(SchedulingError):
+            peak_reservation_packing([giant], 8 * GB)
+        with pytest.raises(SchedulingError):
+            footprint_aware_packing([giant], 8 * GB)
+
+    def test_validate_catches_bad_packing(self):
+        from repro.dist.multitenancy import Packing
+
+        a = AppProfile("a", (Phase(1.0, 6 * GB),))
+        b = AppProfile("b", (Phase(1.0, 6 * GB),))
+        bad = Packing(capacity_bytes=8 * GB, bins=[[a, b]])
+        with pytest.raises(SchedulingError):
+            validate_packing(bad)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=8),  # peak GB
+                st.integers(min_value=0, max_value=2),  # sustained GB
+                st.integers(min_value=0, max_value=5),  # offset slots
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_packings_always_valid_property(self, specs):
+        apps = []
+        for i, (peak_gb, sustained_gb, offset) in enumerate(specs):
+            phases = []
+            if offset:
+                phases.append(Phase(float(offset), sustained_gb * GB))
+            phases.append(Phase(1.0, peak_gb * GB))
+            phases.append(Phase(3.0, min(sustained_gb, peak_gb) * GB))
+            apps.append(AppProfile(f"app{i}", tuple(phases)))
+        aware, peak, ratio = density_ratio(apps, capacity_bytes=8 * GB)
+        # Both packings hold every app exactly once.
+        for packing in (aware, peak):
+            names = [a.name for members in packing.bins for a in members]
+            assert sorted(names) == sorted(a.name for a in apps)
+        # Footprint knowledge never needs MORE machines.
+        assert aware.bin_count <= peak.bin_count

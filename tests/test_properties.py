@@ -1,0 +1,221 @@
+"""Cross-cutting property-based tests on the library's core invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.data import Blob, Tree
+from repro.core.errors import FixError, HandleError, SerializationError
+from repro.core.eval import Evaluator
+from repro.core.handle import HANDLE_BYTES, LITERAL_MAX, Handle, blob_digest
+from repro.core.minrepo import footprint
+from repro.core.serialize import decode_bundle, decode_frame, encode_bundle
+from repro.core.storage import Repository
+from repro.core.thunks import (
+    make_identification,
+    make_selection,
+    make_selection_range,
+    strict,
+)
+from repro.sim.engine import Simulator, all_of
+from repro.sim.resources import Resource
+from repro.sim.stats import CpuAccountant, report
+
+# ----------------------------------------------------------------------
+# Handle algebra
+
+
+@st.composite
+def data_handles(draw):
+    payload = draw(st.binary(max_size=64))
+    if len(payload) <= LITERAL_MAX:
+        return Handle.of_blob(payload)
+    if draw(st.booleans()):
+        return Handle.blob(blob_digest(payload), len(payload))
+    return Handle.tree(blob_digest(payload), len(payload))
+
+
+class TestHandleAlgebra:
+    @given(data_handles())
+    def test_pack_unpack_is_identity(self, handle):
+        assert Handle.unpack(handle.pack()) == handle
+
+    @given(data_handles())
+    def test_ref_object_involution(self, handle):
+        assert handle.as_ref().as_object() == handle.as_object()
+        assert handle.as_ref().as_ref() == handle.as_ref()
+
+    @given(data_handles())
+    def test_view_changes_preserve_content_key(self, handle):
+        assert handle.as_ref().content_key() == handle.content_key()
+        ident = handle.make_identification()
+        assert ident.content_key() == handle.content_key()
+        assert ident.wrap_strict().content_key() == handle.content_key()
+
+    @given(data_handles())
+    def test_identification_definition_roundtrip(self, handle):
+        ident = handle.make_identification()
+        assert ident.definition() == handle.as_object()
+
+    @given(data_handles())
+    def test_encode_unwrap_roundtrip(self, handle):
+        ident = handle.make_identification()
+        for encode in (ident.wrap_strict(), ident.wrap_shallow()):
+            assert encode.unwrap_encode() == ident
+
+    @given(st.binary(min_size=HANDLE_BYTES, max_size=HANDLE_BYTES))
+    def test_unpack_never_crashes_uncontrolled(self, raw):
+        """Arbitrary 32 bytes either parse or raise HandleError."""
+        try:
+            handle = Handle.unpack(raw)
+        except HandleError:
+            return
+        assert Handle.unpack(handle.pack()) == handle
+
+
+# ----------------------------------------------------------------------
+# Evaluation invariants
+
+
+class TestEvaluationInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.binary(min_size=31, max_size=64), min_size=1, max_size=6))
+    def test_eval_is_idempotent(self, payloads):
+        repo = Repository()
+        evaluator = Evaluator(repo)
+        children = [repo.put_blob(p).as_ref() for p in payloads]
+        inner = [strict(make_identification(c)) for c in children]
+        tree = repo.put_tree(inner)
+        once = evaluator.eval(tree)
+        twice = evaluator.eval(once)
+        assert once == twice  # eval of a resolved value is the identity
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.binary(min_size=31, max_size=120),
+        st.data(),
+    )
+    def test_selection_composes_like_slicing(self, payload, data):
+        repo = Repository()
+        evaluator = Evaluator(repo)
+        blob = repo.put_blob(payload)
+        start = data.draw(st.integers(min_value=0, max_value=len(payload)))
+        end = data.draw(st.integers(min_value=start, max_value=len(payload)))
+        sel = strict(make_selection_range(repo, blob, start, end))
+        result = evaluator.eval_encode(sel)
+        assert repo.get_blob(result).data == payload[start:end]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.binary(min_size=31, max_size=50), min_size=1, max_size=5))
+    def test_memoized_and_fresh_agree(self, payloads):
+        repo = Repository()
+        children = [repo.put_blob(p) for p in payloads]
+        target = repo.put_tree(children)
+        encode = strict(make_selection(repo, target, len(children) - 1))
+        memo = Evaluator(repo, memoize=True).eval_encode(encode)
+        fresh = Evaluator(repo, memoize=False).eval_encode(encode)
+        assert memo == fresh
+
+
+# ----------------------------------------------------------------------
+# Footprints
+
+
+class TestFootprintInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(min_size=31, max_size=64), min_size=1, max_size=6))
+    def test_extending_a_tree_grows_footprint(self, payloads):
+        repo = Repository()
+        children = [repo.put_blob(p) for p in payloads]
+        small = repo.put_tree(children[:1])
+        big = repo.put_tree(children[:1] + children[1:] + [small])
+        fp_small = footprint(repo, small)
+        fp_big = footprint(repo, big)
+        assert fp_small.is_subset_of(fp_big)
+        assert fp_big.data_bytes >= fp_small.data_bytes
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(min_size=31, max_size=64), min_size=1, max_size=6))
+    def test_refs_always_shrink_footprints(self, payloads):
+        repo = Repository()
+        children = [repo.put_blob(p) for p in payloads]
+        open_tree = repo.put_tree(children)
+        closed_tree = repo.put_tree([c.as_ref() for c in children])
+        assert footprint(repo, closed_tree).data_bytes < footprint(
+            repo, open_tree
+        ).data_bytes
+
+
+# ----------------------------------------------------------------------
+# Wire format fuzzing
+
+
+class TestWireFuzz:
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_decode_bundle_never_crashes_uncontrolled(self, raw):
+        try:
+            decode_bundle(Repository(), raw)
+        except FixError:
+            pass  # every malformed input maps to a library error
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.binary(max_size=80), max_size=6), st.data())
+    def test_bitflips_are_detected_or_benign(self, payloads, data):
+        repo = Repository()
+        handles = [repo.put_blob(p) for p in payloads]
+        raw = bytearray(encode_bundle(repo, handles))
+        if len(raw) > 8:  # flip one byte somewhere after the magic
+            index = data.draw(st.integers(min_value=4, max_value=len(raw) - 1))
+            raw[index] ^= 0xFF
+            try:
+                decoded = decode_bundle(Repository(), bytes(raw))
+            except FixError:
+                return
+            # If it still parses, content addressing guarantees whatever
+            # was stored verifies against its handle.
+            for handle in decoded:
+                if not handle.is_literal:
+                    Repository_ = Repository()
+                    # decode already verified payload-vs-handle.
+                    assert handle.pack()
+
+
+# ----------------------------------------------------------------------
+# Simulator conservation laws
+
+
+class TestSimConservation:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=4),  # cores
+                st.floats(min_value=0.01, max_value=2.0),  # duration
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_busy_never_exceeds_capacity(self, tasks):
+        sim = Simulator()
+        cores = Resource(sim, 4, name="cores")
+        acct = CpuAccountant(sim)
+
+        def job(sim, n, duration):
+            yield cores.acquire(n)
+            token = acct.begin("m", "user", n)
+            yield sim.timeout(duration)
+            acct.end(token)
+            cores.release(n)
+
+        done = all_of(sim, [sim.process(job(sim, n, d)) for n, d in tasks])
+        sim.run_until(done)
+        window = max(sim.now, 1e-9)
+        rep = report(acct, total_cores=4, window_seconds=window)
+        assert rep.user + rep.system + rep.iowait + rep.idle == pytest.approx(100)
+        # Conservation: accounted busy time equals requested work exactly.
+        expected = sum(n * d for n, d in tasks)
+        assert acct.core_seconds()["user"] == pytest.approx(expected)

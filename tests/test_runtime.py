@@ -1,0 +1,165 @@
+"""Integration tests for the Fixpoint runtime: the paper's figs. 2-3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codelets.stdlib import blob_int, int_blob
+from repro.core.errors import NotAFunctionError, ResourceLimitError
+from repro.core.limits import ResourceLimits
+from repro.core.thunks import make_application, make_identification, strict
+from repro.fixpoint.runtime import Fixpoint
+
+
+def fib_reference(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+class TestTrivialFunctions:
+    def test_add_u8(self, fixpoint):
+        a = fixpoint.repo.put_blob(int_blob(200, 1))
+        b = fixpoint.repo.put_blob(int_blob(100, 1))
+        result = fixpoint.run(fixpoint.stdlib["add_u8"], [a, b])
+        assert blob_int(fixpoint.repo.get_blob(result).data) == (200 + 100) % 256
+
+    def test_identity(self, fixpoint):
+        arg = fixpoint.repo.put_blob(b"v" * 64)
+        result = fixpoint.run(fixpoint.stdlib["identity"], [arg])
+        assert result.content_key() == arg.content_key()
+
+    def test_increment(self, fixpoint):
+        arg = fixpoint.repo.put_blob(int_blob(41))
+        result = fixpoint.run(fixpoint.stdlib["increment"], [arg])
+        assert blob_int(fixpoint.repo.get_blob(result).data) == 42
+
+
+class TestIfProcedure:
+    """Paper fig. 2: lazy branch selection - the untaken branch never runs."""
+
+    def _run_if(self, fixpoint, predicate: bool):
+        repo = fixpoint.repo
+        bomb = fixpoint.compile(
+            "def _fix_apply(fix, input):\n    raise ValueError('branch ran')",
+            "bomb",
+        )
+        value = repo.put_blob(int_blob(7))
+        taken = make_application(repo, fixpoint.stdlib["identity"], [value])
+        not_taken = make_application(repo, bomb, [])
+        pred = repo.put_blob(b"\x01" if predicate else b"\x00")
+        # if-tree: [rlimit, if, pred, a, b]; a runs when pred is true.
+        a = taken if predicate else not_taken
+        b = not_taken if predicate else taken
+        thunk = fixpoint.invoke(fixpoint.stdlib["if"], [pred, a, b])
+        return fixpoint.eval(thunk.wrap_strict()), value
+
+    def test_true_branch(self, fixpoint):
+        result, value = self._run_if(fixpoint, True)
+        assert blob_int(fixpoint.repo.get_blob(result).data) == 7
+
+    def test_false_branch(self, fixpoint):
+        result, value = self._run_if(fixpoint, False)
+        assert blob_int(fixpoint.repo.get_blob(result).data) == 7
+
+    def test_untaken_branch_never_invoked(self, fixpoint):
+        self._run_if(fixpoint, True)
+        assert fixpoint.trace.invocation_count("bomb") == 0
+
+
+class TestFibonacci:
+    """Paper fig. 3: recursion via thunks and a tail call to add."""
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 10, 15])
+    def test_fib(self, fixpoint, n):
+        x = fixpoint.repo.put_blob(int_blob(n))
+        thunk = fixpoint.invoke(fixpoint.stdlib["fib"], [fixpoint.stdlib["add"], x])
+        result = fixpoint.eval(thunk.wrap_strict())
+        assert blob_int(fixpoint.repo.get_blob(result).data) == fib_reference(n)
+
+    def test_memoization_collapses_call_tree(self, fixpoint):
+        x = fixpoint.repo.put_blob(int_blob(20))
+        thunk = fixpoint.invoke(fixpoint.stdlib["fib"], [fixpoint.stdlib["add"], x])
+        fixpoint.eval(thunk.wrap_strict())
+        # Without content-addressed memoization fib(20) needs ~22k calls;
+        # with it, one invocation per distinct n plus the adds.
+        assert fixpoint.trace.invocation_count("fib") == 21
+
+    def test_parallel_matches_sequential(self, parallel_fixpoint):
+        fp = parallel_fixpoint
+        x = fp.repo.put_blob(int_blob(14))
+        thunk = fp.invoke(fp.stdlib["fib"], [fp.stdlib["add"], x])
+        result = fp.eval(thunk.wrap_strict())
+        assert blob_int(fp.repo.get_blob(result).data) == fib_reference(14)
+
+
+class TestTailCalls:
+    def test_long_chain_does_not_overflow(self, fixpoint):
+        """A 600-deep tail-call chain (continuation-passing countdown)."""
+        source = (
+            "def _fix_apply(fix, input):\n"
+            "    entries = fix.read_tree(input)\n"
+            "    n = int.from_bytes(fix.read_blob(entries[2]), 'little')\n"
+            "    if n == 0:\n"
+            "        return fix.create_blob((0).to_bytes(8, 'little'))\n"
+            "    arg = fix.create_blob((n - 1).to_bytes(8, 'little'))\n"
+            "    tree = fix.create_tree([entries[0], entries[1], arg])\n"
+            "    return fix.application(tree)\n"
+        )
+        countdown = fixpoint.compile(source, "countdown")
+        arg = fixpoint.repo.put_blob(int_blob(600))
+        result = fixpoint.run(countdown, [arg])
+        assert blob_int(fixpoint.repo.get_blob(result).data) == 0
+        assert fixpoint.trace.invocation_count("countdown") == 601
+
+
+class TestRuntimeBehaviour:
+    def test_non_codelet_function_slot(self, fixpoint):
+        not_code = fixpoint.repo.put_blob(b"just bytes" * 10)
+        with pytest.raises(NotAFunctionError):
+            fixpoint.run(not_code, [])
+
+    def test_memory_limit_propagates(self, fixpoint):
+        source = (
+            "def _fix_apply(fix, input):\n"
+            "    return fix.create_blob(bytes(1000))\n"
+        )
+        hog = fixpoint.compile(source, "hog")
+        with pytest.raises(ResourceLimitError):
+            fixpoint.run(hog, [], limits=ResourceLimits(memory_bytes=500))
+
+    def test_eval_blob_convenience(self, fixpoint):
+        a = fixpoint.repo.put_blob(int_blob(1, 1))
+        b = fixpoint.repo.put_blob(int_blob(2, 1))
+        thunk = fixpoint.invoke(fixpoint.stdlib["add_u8"], [a, b])
+        assert fixpoint.eval_blob(thunk.wrap_strict()) == int_blob(3, 1)
+
+    def test_stats_aggregate(self, fixpoint):
+        x = fixpoint.repo.put_blob(int_blob(5))
+        thunk = fixpoint.invoke(fixpoint.stdlib["fib"], [fixpoint.stdlib["add"], x])
+        fixpoint.eval(thunk.wrap_strict())
+        stats = fixpoint.stats
+        assert stats.applications > 0
+        assert stats.strict_encodes > 0
+
+    def test_identification_of_ref_performs_io(self, fixpoint):
+        """The runtime, not the function, resolves a Ref dependency."""
+        repo = fixpoint.repo
+        secret = repo.put_blob(b"secret" * 20)
+        reader = fixpoint.compile(
+            "def _fix_apply(fix, input):\n"
+            "    entries = fix.read_tree(input)\n"
+            "    data = fix.read_blob(entries[2])\n"
+            "    return fix.create_blob(data[:6])\n",
+            "reader",
+        )
+        io_request = strict(make_identification(secret.as_ref()))
+        thunk = fixpoint.invoke(reader, [io_request])
+        result = fixpoint.eval(thunk.wrap_strict())
+        assert repo.get_blob(result).data == b"secret"
+
+    def test_double_close_is_safe(self):
+        fp = Fixpoint(workers=2)
+        fp.close()
+        fp.close()

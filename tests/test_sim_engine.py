@@ -1,0 +1,188 @@
+"""Tests for the discrete-event engine: events, processes, determinism."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import SimulationError
+from repro.sim.engine import Simulator, all_of, any_of
+
+
+class TestEvents:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.timeout(2.5).add_callback(lambda e: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.5]
+
+    def test_event_value(self):
+        sim = Simulator()
+        event = sim.timeout(1.0, value="payload")
+        sim.run_until(event)
+        assert event.value == "payload"
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_callback_after_trigger_fires(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed("done")
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == ["done"]
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=100), min_size=1, max_size=20))
+    def test_clock_is_monotonic(self, delays):
+        sim = Simulator()
+        observed = []
+        for delay in delays:
+            sim.timeout(delay).add_callback(lambda e: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+
+    def test_fifo_tiebreak_is_submission_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.timeout(1.0, value=i).add_callback(lambda e: order.append(e.value))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestProcesses:
+    def test_simple_process(self):
+        sim = Simulator()
+        trace = []
+
+        def proc(sim):
+            trace.append(("start", sim.now))
+            yield sim.timeout(1.0)
+            trace.append(("mid", sim.now))
+            yield sim.timeout(2.0)
+            trace.append(("end", sim.now))
+            return "result"
+
+        process = sim.process(proc(sim))
+        sim.run()
+        assert trace == [("start", 0.0), ("mid", 1.0), ("end", 3.0)]
+        assert process.value == "result"
+
+    def test_process_waits_on_event(self):
+        sim = Simulator()
+        gate = sim.event("gate")
+        results = []
+
+        def waiter(sim):
+            value = yield gate
+            results.append((sim.now, value))
+
+        def opener(sim):
+            yield sim.timeout(5.0)
+            gate.succeed("open")
+
+        sim.process(waiter(sim))
+        sim.process(opener(sim))
+        sim.run()
+        assert results == [(5.0, "open")]
+
+    def test_exception_propagates_to_waiter(self):
+        sim = Simulator()
+
+        def failing(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        def waiter(sim, target):
+            try:
+                yield target
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        target = sim.process(failing(sim))
+        waiter_proc = sim.process(waiter(sim, target))
+        sim.run()
+        assert waiter_proc.value == "caught boom"
+
+    def test_unhandled_process_failure_raises_at_run_until(self):
+        sim = Simulator()
+
+        def failing(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("unhandled")
+
+        process = sim.process(failing(sim))
+        with pytest.raises(RuntimeError):
+            sim.run_until(process)
+
+    def test_yielding_non_event_is_an_error(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield 42
+
+        sim.process(bad(sim))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_until_deadlock_detected(self):
+        sim = Simulator()
+        never = sim.event("never")
+        with pytest.raises(SimulationError):
+            sim.run_until(never)
+
+    def test_run_with_until_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.timeout(10.0).add_callback(lambda e: fired.append(1))
+        assert sim.run(until=5.0) == 5.0
+        assert not fired
+
+
+class TestCombinators:
+    def test_all_of(self):
+        sim = Simulator()
+        events = [sim.timeout(t, value=t) for t in (3.0, 1.0, 2.0)]
+        joined = all_of(sim, events)
+        sim.run_until(joined)
+        assert sim.now == 3.0
+        assert joined.value == [3.0, 1.0, 2.0]
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        assert all_of(sim, []).triggered
+
+    def test_all_of_fails_fast(self):
+        sim = Simulator()
+
+        def failing(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("x")
+
+        events = [sim.process(failing(sim)), sim.timeout(10.0)]
+        joined = all_of(sim, events)
+        with pytest.raises(ValueError):
+            sim.run_until(joined)
+        assert sim.now == 1.0
+
+    def test_any_of(self):
+        sim = Simulator()
+        events = [sim.timeout(t, value=t) for t in (3.0, 1.0, 2.0)]
+        winner = any_of(sim, events)
+        sim.run_until(winner)
+        assert sim.now == 1.0
+        assert winner.value == 1.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)

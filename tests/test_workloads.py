@@ -1,0 +1,221 @@
+"""Tests for the evaluation workloads (real codelets + graph builders)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import CodeletError
+from repro.dist.graph import CLIENT, EXTERNAL
+from repro.fixpoint.runtime import Fixpoint
+from repro.workloads.bptree import (
+    build_bptree,
+    compile_get,
+    lookup,
+    required_depth,
+    sample_queries,
+)
+from repro.workloads.chain import build_chain, run_chain
+from repro.workloads.compilejob import (
+    build_compile_graph,
+    compile_project,
+    make_headers,
+    make_source,
+)
+from repro.workloads.corpus import declare_shards, make_corpus, make_shard, reference_count
+from repro.workloads.oneoff import build_oneoff_graph
+from repro.workloads.titles import make_titles, mean_length
+from repro.workloads.wordcount import build_wordcount_graph, count_corpus, map_only_graph
+
+
+class TestCorpus:
+    def test_shard_size_exact(self):
+        assert len(make_shard(1000, seed=1)) == 1000
+
+    def test_determinism(self):
+        assert make_shard(500, seed=9) == make_shard(500, seed=9)
+        assert make_shard(500, seed=9) != make_shard(500, seed=10)
+
+    def test_reference_count(self):
+        shards = [b"the cat the dog", b"the end"]
+        assert reference_count(shards, b"the") == 3
+
+    def test_declared_shards_scatter(self):
+        nodes = [f"node{i}" for i in range(10)]
+        shards = declare_shards(200, 100, nodes, seed=1)
+        used = {s.location for s in shards}
+        assert len(used) == 10
+        assert all(s.size == 100 for s in shards)
+
+
+class TestWordcount:
+    def test_matches_reference(self, fixpoint):
+        shards = make_corpus(6, 3000, seed=5)
+        got = count_corpus(fixpoint, shards, b"the")
+        assert got == reference_count(shards, b"the")
+
+    def test_non_overlapping_semantics(self, fixpoint):
+        # bytes.count is non-overlapping, like the paper's counter.
+        assert count_corpus(fixpoint, [b"aaaa"], b"aa") == 2
+
+    def test_odd_shard_count(self, fixpoint):
+        shards = make_corpus(7, 1000, seed=2)
+        assert count_corpus(fixpoint, shards, b"of") == reference_count(shards, b"of")
+
+    def test_single_shard(self, fixpoint):
+        shards = make_corpus(1, 2000, seed=3)
+        assert count_corpus(fixpoint, shards, b"a") == reference_count(shards, b"a")
+
+    def test_graph_shape(self):
+        shards = declare_shards(10, 100, ["node0"], seed=1)
+        graph = build_wordcount_graph(shards)
+        counts = [t for t in graph.tasks.values() if t.fn == "count-string"]
+        merges = [t for t in graph.tasks.values() if t.fn == "merge-counts"]
+        assert len(counts) == 10
+        assert len(merges) == 9  # binary reduction of 10 leaves
+        graph.validate()
+
+    def test_map_only_graph(self):
+        shards = declare_shards(10, 100, ["node0"], seed=1)
+        graph = map_only_graph(shards)
+        assert len(graph.tasks) == 10
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=12))
+    def test_merge_tree_counts_property(self, n):
+        shards = declare_shards(n, 100, ["node0"], seed=1)
+        graph = build_wordcount_graph(shards)
+        merges = [t for t in graph.tasks.values() if t.fn == "merge-counts"]
+        assert len(merges) == n - 1  # any binary reduction needs n-1 merges
+
+
+class TestChain:
+    @pytest.mark.parametrize("length", [1, 2, 50, 500])
+    def test_chain_result(self, fixpoint, length):
+        assert run_chain(fixpoint, length) == length
+
+    def test_chain_start_offset(self, fixpoint):
+        assert run_chain(fixpoint, 10, start=32) == 42
+
+    def test_chain_is_one_object_graph(self, fixpoint):
+        handle = build_chain(fixpoint, 25)
+        assert handle.is_encode  # a single evaluable object
+
+
+class TestBPTree:
+    def test_required_depth(self):
+        assert required_depth(100, 256) == 0  # a single leaf
+        assert required_depth(6_000_000, 2**24) == 0
+        assert required_depth(6_000_000, 2**12) == 1
+
+    def test_all_keys_found(self, fixpoint):
+        titles = make_titles(300, seed=4)
+        tree = build_bptree(fixpoint, titles, [b"v" + t for t in titles], 8)
+        get_fn = compile_get(fixpoint)
+        for key in titles[::23]:
+            assert lookup(fixpoint, tree, get_fn, key) == b"v" + key
+
+    def test_absent_key(self, fixpoint):
+        titles = make_titles(100, seed=4)
+        tree = build_bptree(fixpoint, titles, titles, 8)
+        get_fn = compile_get(fixpoint)
+        assert lookup(fixpoint, tree, get_fn, b"~~~nope") == b""
+        assert lookup(fixpoint, tree, get_fn, b"") == b""
+
+    def test_flat_tree(self, fixpoint):
+        titles = make_titles(50, seed=1)
+        tree = build_bptree(fixpoint, titles, titles, arity=64)
+        assert tree.depth == 0
+        get_fn = compile_get(fixpoint)
+        assert lookup(fixpoint, tree, get_fn, titles[10]) == titles[10]
+
+    def test_invocations_equal_levels(self, fixpoint):
+        titles = make_titles(512, seed=2)
+        tree = build_bptree(fixpoint, titles, titles, arity=8)
+        get_fn = compile_get(fixpoint)
+        before = fixpoint.trace.invocation_count("bptree-get")
+        lookup(fixpoint, tree, get_fn, titles[100])
+        after = fixpoint.trace.invocation_count("bptree-get")
+        assert after - before == tree.levels  # Table 2: d invocations
+
+    def test_unsorted_keys_rejected(self, fixpoint):
+        with pytest.raises(ValueError):
+            build_bptree(fixpoint, [b"b", b"a"], [b"1", b"2"], 4)
+
+    def test_mismatched_values_rejected(self, fixpoint):
+        with pytest.raises(ValueError):
+            build_bptree(fixpoint, [b"a"], [], 4)
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=2, max_value=32), st.integers(min_value=10, max_value=200))
+    def test_lookup_equals_dict_property(self, arity, n):
+        fp = Fixpoint()
+        titles = make_titles(n, seed=6)
+        values = [b"=" + t for t in titles]
+        tree = build_bptree(fp, titles, values, arity)
+        get_fn = compile_get(fp)
+        reference = dict(zip(titles, values))
+        for key in sample_queries(titles, 3, seed=n):
+            assert lookup(fp, tree, get_fn, key) == reference[key]
+
+
+class TestTitles:
+    def test_unique_and_sorted(self):
+        titles = make_titles(500)
+        assert titles == sorted(set(titles))
+
+    def test_mean_length_near_paper(self):
+        assert 18 <= mean_length(make_titles(3000)) <= 26  # paper: ~22
+
+
+class TestCompileJob:
+    def test_pipeline_produces_executable(self, fixpoint):
+        sources = [make_source(i, list(range(i))) for i in range(5)]
+        exe = fixpoint.repo.get_blob(
+            compile_project(fixpoint, sources, make_headers())
+        ).data
+        assert exe.startswith(b"EXE\n")
+        for i in range(5):
+            assert f"fn_{i}".encode() in exe
+
+    def test_headers_satisfy_externs(self, fixpoint):
+        sources = [make_source(0, []) + b"\ncall printf"]
+        exe = compile_project(fixpoint, sources, make_headers(["printf"]))
+        assert fixpoint.repo.get_blob(exe).data.startswith(b"EXE")
+
+    def test_undefined_symbol_fails_at_link(self, fixpoint):
+        sources = [make_source(0, [99])]  # calls fn_99, defined nowhere
+        with pytest.raises(CodeletError) as excinfo:
+            compile_project(fixpoint, sources, make_headers())
+        assert "undefined" in str(excinfo.value)
+
+    def test_duplicate_symbol_fails_at_link(self, fixpoint):
+        sources = [make_source(0, []), make_source(0, [])]
+        with pytest.raises(CodeletError) as excinfo:
+            compile_project(fixpoint, sources, make_headers())
+        assert "duplicate" in str(excinfo.value)
+
+    def test_graph_shape(self):
+        graph = build_compile_graph(tu_count=50)
+        graph.validate()
+        assert len(graph.tasks) == 51  # 50 compiles + 1 link
+        link = graph.tasks["link"]
+        assert len(link.inputs) == 50
+        assert graph.data["headers"].location == CLIENT
+
+    def test_graph_compile_times_are_long_tailed(self):
+        graph = build_compile_graph(tu_count=300)
+        times = sorted(
+            t.compute_seconds for t in graph.tasks.values() if t.fn == "libclang"
+        )
+        assert times[-1] > 2 * times[len(times) // 2]  # max >> median
+
+
+class TestOneoff:
+    def test_graph_shape(self):
+        graph = build_oneoff_graph(tasks=16)
+        graph.validate()
+        assert len(graph.tasks) == 16
+        assert all(d.location == EXTERNAL for d in graph.data.values())
+        assert all(t.memory_bytes == 10**9 for t in graph.tasks.values())
