@@ -1,3 +1,47 @@
-from setuptools import setup
+"""Packaging for the Fix reproduction (src layout).
 
-setup()
+Editable install with the test toolchain::
+
+    pip install -e .[test]
+"""
+
+import os
+
+from setuptools import find_packages, setup
+
+
+def _readme() -> str:
+    if os.path.exists("README.md"):
+        with open("README.md", encoding="utf-8") as fh:
+            return fh.read()
+    return ""
+
+
+setup(
+    name="repro-fix",
+    version="1.0.0",
+    description=(
+        'Python reproduction of "Fix: externalizing network I/O in '
+        'serverless computing" (EuroSys 2026)'
+    ),
+    long_description=_readme(),
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[],  # stdlib only, by design
+    extras_require={
+        "test": [
+            "pytest>=7",
+            "hypothesis>=6",
+            "pytest-benchmark>=4",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: System :: Distributed Computing",
+    ],
+)

@@ -6,14 +6,27 @@ Public surface:
 * :mod:`repro.core` - the Fix ABI: Handles, Blobs/Trees, Thunks, Encodes,
   minimum repositories, and the evaluator.
 * :mod:`repro.codelets` - the trusted toolchain, sandbox, and linker.
-* :mod:`repro.fixpoint` - the executable multi-worker runtime.
+* :mod:`repro.fixpoint` - the executable multi-worker runtime (and the
+  functional multi-node delegation in :mod:`repro.fixpoint.net`).
 * :mod:`repro.sim` - the discrete-event cluster substrate.
-* :mod:`repro.dist` - distributed Fixpoint (dataflow-aware scheduling).
+* :mod:`repro.dist` - distributed Fixpoint: the job IR, the passive
+  object view, the dataflow scheduler, the :class:`~repro.dist.engine.FixpointSim`
+  platform (externalized I/O + late binding), and section 6's
+  footprint-aware multitenancy packing.
 * :mod:`repro.baselines` - OpenWhisk/MinIO/K8s, Ray, Pheromone, Faasm models.
 * :mod:`repro.flatware` - the POSIX-compat layer over Fix Trees.
 * :mod:`repro.workloads` - the paper's evaluation workloads.
 * :mod:`repro.bench` - the experiment harness regenerating every figure.
+
+Subpackages beyond ``core`` and ``fixpoint`` load lazily (PEP 562):
+``repro.dist`` is reachable as an attribute of ``repro`` without paying
+for - or creating import cycles through - the baselines at package-import
+time.
 """
+
+from __future__ import annotations
+
+import importlib
 
 from .core import (
     Blob,
@@ -29,6 +42,19 @@ from .fixpoint import Fixpoint
 
 __version__ = "1.0.0"
 
+#: Subpackages resolvable as ``repro.<name>`` attributes on first touch.
+_SUBPACKAGES = (
+    "baselines",
+    "bench",
+    "codelets",
+    "core",
+    "dist",
+    "fixpoint",
+    "flatware",
+    "sim",
+    "workloads",
+)
+
 __all__ = [
     "Blob",
     "Evaluator",
@@ -40,4 +66,17 @@ __all__ = [
     "ResourceLimits",
     "Tree",
     "__version__",
+    *_SUBPACKAGES,
 ]
+
+
+def __getattr__(name: str):
+    if name in _SUBPACKAGES:
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module  # cache: __getattr__ runs once per name
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SUBPACKAGES))

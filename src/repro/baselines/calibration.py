@@ -141,6 +141,14 @@ INTERNAL_IO_THREADS_8B = 128
 #: Throughput penalty from oversubscribing CPUs (context-switch and cache
 #: pressure); the paper measures 7.5% on fig. 8b.
 OVERSUBSCRIPTION_PENALTY = 0.075
+#: Per-invocation cost of the *blocking* read path: issuing the GET from
+#: inside the reserved worker and waking it through the (oversubscribed)
+#: run queue when data arrives.  Calibrated from fig. 8a's internal-I/O
+#: residual: 2638 ms total - 16 waves x 150 ms - user - system leaves
+#: ~238 ms across 1,024 invocations => ~0.23 ms each.  Externalized I/O
+#: has no analog: network workers deliver resident data to a core that
+#: binds exactly once.
+INTERNAL_IO_RESUME = 0.23e-3
 
 # ----------------------------------------------------------------------
 # B+-tree experiment (fig. 9) data-path constants

@@ -1,0 +1,80 @@
+"""``repro.dist`` - distributed Fixpoint: the simulated-evaluation layer.
+
+Five modules, mirroring the paper's distributed design (sections 4.2, 5-6):
+
+* :mod:`repro.dist.graph` - the abstract job IR (:class:`JobGraph`,
+  :class:`TaskSpec`, the :data:`CLIENT` / :data:`EXTERNAL` placements);
+* :mod:`repro.dist.objectview` - :class:`ObjectView`, the passive,
+  possibly-stale per-node replica map;
+* :mod:`repro.dist.scheduler` - :class:`DataflowScheduler`,
+  locality-first placement with load feedback and output-size hints;
+* :mod:`repro.dist.engine` - :class:`FixpointSim`, the distributed
+  platform with externalized I/O and late binding (plus its ablations);
+* :mod:`repro.dist.multitenancy` - section 6's footprint-aware packing.
+
+``engine`` is imported lazily (PEP 562): it builds on
+:mod:`repro.baselines.base`, which itself consumes the job IR from this
+package, so an eager import here would complete the baselines <-> dist
+cycle.  Everything in ``__all__`` is still reachable as
+``repro.dist.<name>``.
+"""
+
+from __future__ import annotations
+
+from .graph import (
+    CLIENT,
+    EXTERNAL,
+    DataSpec,
+    JobGraph,
+    TaskSpec,
+)
+from .multitenancy import (
+    AppProfile,
+    Packing,
+    Phase,
+    density_ratio,
+    footprint_aware_packing,
+    peak_reservation_packing,
+    spiky_workload,
+    validate_packing,
+)
+from .objectview import ObjectView
+from .scheduler import DataflowScheduler, Placement
+
+__all__ = [
+    "AppProfile",
+    "CLIENT",
+    "DataSpec",
+    "DataflowScheduler",
+    "EXTERNAL",
+    "FixpointSim",
+    "JobGraph",
+    "ObjectView",
+    "Packing",
+    "Phase",
+    "Placement",
+    "TaskSpec",
+    "density_ratio",
+    "footprint_aware_packing",
+    "peak_reservation_packing",
+    "spiky_workload",
+    "validate_packing",
+]
+
+_LAZY = {"FixpointSim": ("repro.dist.engine", "FixpointSim")}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value  # cache: __getattr__ runs once per name
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,100 @@
+"""The passive, possibly-stale per-node map of who holds what.
+
+Fix ships dependency information inside handles, so nodes learn object
+locations as a side effect of normal traffic instead of querying a
+coordinator (paper 4.2.2).  :class:`ObjectView` models exactly that: a
+node's *belief* about replica placement.  It advances when the node
+observes traffic (:meth:`learn`), when it snapshots the registry it can
+see (:meth:`sync_from_cluster`), or when two nodes run the pairwise
+inventory :meth:`exchange` handshake that the functional runtime
+implements for real in :mod:`repro.fixpoint.net`.
+
+Crucially the view is *never invalidated*: a replica created after the
+last observation is simply unknown, and :meth:`bytes_missing` prices a
+placement using beliefs, not ground truth.  Staleness costs only
+performance (a redundant transfer), never correctness - the same
+property the paper's design leans on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.cluster import Cluster
+
+
+class ObjectView:
+    """One node's belief about which machines hold which objects."""
+
+    def __init__(self, node: str):
+        self.node = node
+        self._locations: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Observation
+
+    def learn(self, name: str, location: str) -> None:
+        """Record that ``location`` holds a replica of ``name``."""
+        self._locations.setdefault(name, set()).add(location)
+
+    def where(self, name: str) -> Set[str]:
+        """Believed replica locations (empty set when unknown)."""
+        return set(self._locations.get(name, ()))
+
+    def knows(self, name: str, location: str) -> bool:
+        return location in self._locations.get(name, ())
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    # ------------------------------------------------------------------
+    # Synchronisation
+
+    def sync_from_cluster(self, cluster: "Cluster") -> None:
+        """Snapshot the whole registry (a full-state refresh).
+
+        Replicas added to the cluster *after* this call stay unknown -
+        that lag is the staleness the scheduler tolerates by design.
+        """
+        for name, info in cluster.objects.items():
+            self._locations.setdefault(name, set()).update(info.locations)
+
+    def refresh_local(self, cluster: "Cluster") -> None:
+        """Learn this node's own holdings (a node always knows its disk)."""
+        for name, info in cluster.objects.items():
+            if self.node in info.locations:
+                self.learn(name, self.node)
+
+    def exchange(self, other: "ObjectView", cluster: "Cluster") -> None:
+        """The pairwise inventory handshake of paper 4.2.2.
+
+        Each side refreshes its own local holdings, then both merge the
+        other's beliefs - after which each view contains the union.
+        """
+        self.refresh_local(cluster)
+        other.refresh_local(cluster)
+        mine = {name: set(locs) for name, locs in self._locations.items()}
+        theirs = {name: set(locs) for name, locs in other._locations.items()}
+        for name, locs in theirs.items():
+            self._locations.setdefault(name, set()).update(locs)
+        for name, locs in mine.items():
+            other._locations.setdefault(name, set()).update(locs)
+
+    # ------------------------------------------------------------------
+    # Placement pricing
+
+    def bytes_missing(
+        self, cluster: "Cluster", names: Iterable[str], machine: str
+    ) -> int:
+        """Bytes this view *believes* must move to run on ``machine``.
+
+        Sizes are ground truth (declared in the registry); locations are
+        beliefs, so a stale view may price a machine that actually holds
+        a fresh replica as if the data still had to travel.
+        """
+        return sum(
+            cluster.object(name).size
+            for name in names
+            if machine not in self._locations.get(name, ())
+        )

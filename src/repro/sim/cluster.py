@@ -93,7 +93,13 @@ class Cluster:
 
     @property
     def total_cores(self) -> int:
-        return sum(m.spec.cores for m in self.machines.values())
+        """Schedulable cores cluster-wide.
+
+        Uses the core pools' live capacity, not the specs: the internal-I/O
+        ablations oversubscribe via :meth:`Machine.resize_cores`, and CPU
+        accounting must be reported against what was schedulable.
+        """
+        return sum(m.cores.capacity for m in self.machines.values())
 
     def machine_names(self) -> List[str]:
         return list(self.machines)

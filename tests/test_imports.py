@@ -1,0 +1,147 @@
+"""Import smoke tests: a missing module fails here with a clear message
+instead of detonating five unrelated test modules at collection time
+(the seed's original failure mode: ``No module named 'repro.dist'``)."""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+#: Every module in the package, spelled out so a deletion is a visible
+#: diff here - pkgutil walking below catches *additions* we forgot.
+EXPECTED_MODULES = [
+    "repro.baselines",
+    "repro.baselines.base",
+    "repro.baselines.calibration",
+    "repro.baselines.faasm",
+    "repro.baselines.kubernetes",
+    "repro.baselines.linuxproc",
+    "repro.baselines.minio",
+    "repro.baselines.openwhisk",
+    "repro.baselines.pheromone",
+    "repro.baselines.ray",
+    "repro.bench",
+    "repro.bench.fig7a",
+    "repro.bench.fig7b",
+    "repro.bench.fig8a",
+    "repro.bench.fig8b",
+    "repro.bench.fig9",
+    "repro.bench.fig10",
+    "repro.bench.harness",
+    "repro.bench.paperdata",
+    "repro.bench.summary",
+    "repro.bench.table2",
+    "repro.codelets",
+    "repro.codelets.linker",
+    "repro.codelets.sandbox",
+    "repro.codelets.stdlib",
+    "repro.codelets.toolchain",
+    "repro.core",
+    "repro.core.api",
+    "repro.core.attestation",
+    "repro.core.data",
+    "repro.core.errors",
+    "repro.core.eval",
+    "repro.core.gc",
+    "repro.core.handle",
+    "repro.core.limits",
+    "repro.core.minrepo",
+    "repro.core.serialize",
+    "repro.core.storage",
+    "repro.core.thunks",
+    "repro.dist",
+    "repro.dist.engine",
+    "repro.dist.graph",
+    "repro.dist.multitenancy",
+    "repro.dist.objectview",
+    "repro.dist.scheduler",
+    "repro.fixpoint",
+    "repro.fixpoint.billing",
+    "repro.fixpoint.jobs",
+    "repro.fixpoint.net",
+    "repro.fixpoint.runtime",
+    "repro.fixpoint.tracing",
+    "repro.flatware",
+    "repro.flatware.archive",
+    "repro.flatware.asyncify",
+    "repro.flatware.fs",
+    "repro.flatware.template",
+    "repro.flatware.wasi",
+    "repro.sim",
+    "repro.sim.cluster",
+    "repro.sim.engine",
+    "repro.sim.network",
+    "repro.sim.resources",
+    "repro.sim.stats",
+    "repro.sim.storage_service",
+    "repro.workloads",
+    "repro.workloads.bptree",
+    "repro.workloads.chain",
+    "repro.workloads.compilejob",
+    "repro.workloads.corpus",
+    "repro.workloads.oneoff",
+    "repro.workloads.sebs",
+    "repro.workloads.titles",
+    "repro.workloads.wordcount",
+]
+
+
+@pytest.mark.parametrize("module_name", EXPECTED_MODULES)
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+def test_no_unlisted_modules():
+    """New modules must be added to EXPECTED_MODULES (and keep importing)."""
+    found = set()
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "__main__" in info.name:
+            continue
+        found.add(info.name)
+    unlisted = found - set(EXPECTED_MODULES)
+    assert not unlisted, f"modules missing from EXPECTED_MODULES: {sorted(unlisted)}"
+
+
+class TestDistExports:
+    def test_all_names_resolve(self):
+        """Every name in repro.dist.__all__ must actually exist (including
+        the lazily-loaded engine exports)."""
+        dist = importlib.import_module("repro.dist")
+        missing = [name for name in dist.__all__ if not hasattr(dist, name)]
+        assert not missing, f"repro.dist.__all__ names that fail: {missing}"
+
+    def test_exports_match_public_surface(self):
+        """__all__ covers exactly the public (non-underscore, non-module)
+        names the package exposes."""
+        dist = importlib.import_module("repro.dist")
+        submodules = {
+            "graph",
+            "objectview",
+            "scheduler",
+            "engine",
+            "multitenancy",
+        }
+        public = {
+            name
+            for name in dir(dist)
+            if not name.startswith("_")
+            and name not in submodules
+            and name not in {"annotations"}
+        }
+        assert public == set(dist.__all__)
+
+    def test_dist_reachable_from_top_level(self):
+        assert repro.dist.FixpointSim.build(nodes=1).name == "Fixpoint"
+
+    def test_baselines_first_import_order(self):
+        """Importing baselines before dist must not deadlock on the
+        baselines <-> dist cycle (engine is lazy for exactly this)."""
+        import repro.baselines  # noqa: F401
+        import repro.dist  # noqa: F401
+
+        assert repro.baselines.Platform is not None
+        assert repro.dist.JobGraph is not None
