@@ -1,0 +1,39 @@
+"""Repo-wide pytest wiring: the benchmark suite is opt-in.
+
+``benchmarks/bench_*.py`` regenerate the paper's tables/figures and
+assert their *shape*; they are orders of magnitude slower than the unit
+suite, so plain ``pytest`` collects them (they stay visible and
+importable) but skips them.  Opt in with::
+
+    pytest --benchmarks            # everything
+    pytest benchmarks/ --benchmarks -m bench   # just the figures
+
+CI runs the opt-in suite on a schedule (see .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--benchmarks",
+        action="store_true",
+        default=False,
+        help="run the paper-figure benchmark suite (benchmarks/bench_*.py)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    bench_root = config.rootpath / "benchmarks"
+    opted_in = config.getoption("--benchmarks")
+    skip = pytest.mark.skip(
+        reason="benchmark suite is opt-in: pass --benchmarks"
+    )
+    for item in items:
+        if bench_root not in item.path.parents:
+            continue
+        item.add_marker(pytest.mark.bench)
+        if not opted_in:
+            item.add_marker(skip)

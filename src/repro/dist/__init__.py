@@ -5,7 +5,11 @@ Five modules, mirroring the paper's distributed design (sections 4.2, 5-6):
 * :mod:`repro.dist.graph` - the abstract job IR (:class:`JobGraph`,
   :class:`TaskSpec`, the :data:`CLIENT` / :data:`EXTERNAL` placements);
 * :mod:`repro.dist.objectview` - :class:`ObjectView`, the passive,
-  possibly-stale per-node replica map;
+  possibly-stale per-node replica map with its incremental holdings
+  index;
+* :mod:`repro.dist.costmodel` - the one placement policy (believed
+  bytes moved, load tiebreak, output hints) shared by the simulated
+  scheduler and the executing runtime in :mod:`repro.fixpoint.net`;
 * :mod:`repro.dist.scheduler` - :class:`DataflowScheduler`,
   locality-first placement with load feedback and output-size hints;
 * :mod:`repro.dist.engine` - :class:`FixpointSim`, the distributed
@@ -21,6 +25,7 @@ cycle.  Everything in ``__all__`` is still reachable as
 
 from __future__ import annotations
 
+from .costmodel import Quote, choose, price_moves
 from .graph import (
     CLIENT,
     EXTERNAL,
@@ -53,10 +58,13 @@ __all__ = [
     "Packing",
     "Phase",
     "Placement",
+    "Quote",
     "TaskSpec",
+    "choose",
     "density_ratio",
     "footprint_aware_packing",
     "peak_reservation_packing",
+    "price_moves",
     "spiky_workload",
     "validate_packing",
 ]

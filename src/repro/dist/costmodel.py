@@ -1,0 +1,137 @@
+"""One placement policy: believed bytes moved, then load, then name.
+
+The paper's central scheduling mechanism (section 4.2.2) is a single
+cost model: price every candidate location by the bytes the local
+*belief* says would have to move, spread genuine ties by outstanding
+load, and stay deterministic by breaking what remains on the candidate
+name.  Both runtimes in this repo resolve placements here:
+
+* the simulator's :class:`~repro.dist.scheduler.DataflowScheduler`
+  prices cluster machines for :class:`~repro.dist.engine.FixpointSim`;
+* the executing runtime's
+  :meth:`~repro.fixpoint.net.FixpointNode.delegate_best` prices peers by
+  the believed missing bytes of a Fix footprint.
+
+Keeping the policy in one module means a delegation-policy change is
+made exactly once and both the perf conclusions (simulated) and the
+executing code follow it.
+
+Everything here is pure: no cluster, no repository, no I/O.  Beliefs
+arrive as callables/pairs so any view representation can plug in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from ..core.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class Quote:
+    """The priced option for running one task at one candidate location.
+
+    ``move_bytes`` is what the belief says must travel *to* the
+    candidate; ``hint_bytes`` is the output's onward journey when the
+    consumer's location is known (the output-size-hint lever); ``load``
+    is the outstanding work already assigned there.
+    """
+
+    candidate: str
+    move_bytes: int
+    hint_bytes: int
+    load: int
+
+    @property
+    def priced_bytes(self) -> int:
+        """The quantity the policy minimises: input + hinted output bytes."""
+        return self.move_bytes + self.hint_bytes
+
+    def sort_key(self) -> Tuple[int, int, str]:
+        """Cheapest bytes first; ties spread by load, then name."""
+        return (self.priced_bytes, self.load, self.candidate)
+
+
+def price_moves(
+    needs: Iterable[Tuple[Hashable, int]],
+    locations: Callable[[Hashable], Iterable[str]],
+    candidates: Iterable[str],
+) -> Dict[str, int]:
+    """Believed bytes that must move to each candidate, in one pass.
+
+    ``needs`` is ``(object, size)`` pairs; ``locations(object)`` yields
+    the believed replica holders.  Each object is visited once and
+    charged to the candidates *not* believed to hold it by subtraction
+    (total minus believed-present), so the cost is
+    O(needs + believed replicas + candidates) - not
+    O(candidates x needs), which is what made fig. 10's 1,987-input
+    link task a scheduler hot spot.
+    """
+    present = dict.fromkeys(candidates, 0)
+    total = 0
+    for name, size in needs:
+        total += size
+        for location in locations(name):
+            if location in present:
+                present[location] += size
+    return {candidate: total - held for candidate, held in present.items()}
+
+
+def quote(
+    candidate: str,
+    move_bytes: int,
+    load: int,
+    *,
+    output_size: int = 0,
+    consumer_location: Optional[str] = None,
+) -> Quote:
+    """Price one candidate; the output hint applies only off-consumer."""
+    hint_bytes = (
+        output_size
+        if consumer_location is not None and candidate != consumer_location
+        else 0
+    )
+    return Quote(
+        candidate=candidate,
+        move_bytes=move_bytes,
+        hint_bytes=hint_bytes,
+        load=load,
+    )
+
+
+def choose(
+    candidates: Iterable[str],
+    move_bytes: Callable[[str], int],
+    load: Callable[[str], int],
+    *,
+    output_size: int = 0,
+    consumer_location: Optional[str] = None,
+) -> Quote:
+    """The shared decision: the cheapest :class:`Quote`.
+
+    Minimises ``(priced bytes, load, name)``.  A candidate believed to
+    hold *nothing* is still priced (the full footprint), never skipped:
+    staleness costs a redundant transfer, not a scheduling failure.
+    """
+    quotes: List[Quote] = [
+        quote(
+            candidate,
+            move_bytes(candidate),
+            load(candidate),
+            output_size=output_size,
+            consumer_location=consumer_location,
+        )
+        for candidate in candidates
+    ]
+    if not quotes:
+        raise SchedulingError("no candidate locations to place on")
+    return min(quotes, key=Quote.sort_key)

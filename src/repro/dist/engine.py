@@ -202,5 +202,5 @@ class FixpointSim(Platform):
         # The output materializes at the execution site, and the
         # scheduler's view learns it (consumers will chase the data).
         self.cluster.add_object(task.output, task.output_size, node)
-        self.scheduler.note_output(task.output, node)
+        self.scheduler.note_output(task.output, node, task.output_size)
         return node

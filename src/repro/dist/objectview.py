@@ -7,21 +7,34 @@ node's *belief* about replica placement.  It advances when the node
 observes traffic (:meth:`learn`), when it snapshots the registry it can
 see (:meth:`sync_from_cluster`), or when two nodes run the pairwise
 inventory :meth:`exchange` handshake that the functional runtime
-implements for real in :mod:`repro.fixpoint.net`.
+implements for real in :mod:`repro.fixpoint.net` (which stores content
+keys and per-handle wire sizes in the same class - object names are any
+hashable).
 
 Crucially the view is *never invalidated*: a replica created after the
 last observation is simply unknown, and :meth:`bytes_missing` prices a
 placement using beliefs, not ground truth.  Staleness costs only
 performance (a redundant transfer), never correctness - the same
 property the paper's design leans on.
+
+Every observation also maintains an inverted *holdings index*
+(machine -> believed names, plus believed sizes), so "what does machine
+M hold" is one lookup and :meth:`bytes_missing_many` prices every
+machine in a single pass over the inputs via
+:func:`repro.dist.costmodel.price_moves` - the fig. 10 link task
+(1,987 inputs) no longer pays O(machines x inputs) per placement.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, Set
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Optional, Set, Tuple
+
+from . import costmodel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.cluster import Cluster
+
+_NOTHING: frozenset = frozenset()
 
 
 class ObjectView:
@@ -29,21 +42,51 @@ class ObjectView:
 
     def __init__(self, node: str):
         self.node = node
-        self._locations: Dict[str, Set[str]] = {}
+        self._locations: Dict[Hashable, Set[str]] = {}
+        #: Inverted index, maintained by every observation: machine ->
+        #: names believed held there.
+        self._holdings: Dict[str, Set[Hashable]] = {}
+        #: Believed sizes, recorded whenever an observation carried one
+        #: (cluster snapshots always do; wire traffic carries handle sizes).
+        self._sizes: Dict[Hashable, int] = {}
 
     # ------------------------------------------------------------------
     # Observation
 
-    def learn(self, name: str, location: str) -> None:
-        """Record that ``location`` holds a replica of ``name``."""
-        self._locations.setdefault(name, set()).add(location)
+    def learn(
+        self, name: Hashable, location: str, size: Optional[int] = None
+    ) -> None:
+        """Record that ``location`` holds a replica of ``name``.
 
-    def where(self, name: str) -> Set[str]:
+        The single write path: the forward map, the holdings index, and
+        the size index advance together, so they can never disagree.
+        """
+        self._locations.setdefault(name, set()).add(location)
+        self._holdings.setdefault(location, set()).add(name)
+        if size is not None:
+            self._sizes[name] = size
+
+    def where(self, name: Hashable) -> Set[str]:
         """Believed replica locations (empty set when unknown)."""
         return set(self._locations.get(name, ()))
 
-    def knows(self, name: str, location: str) -> bool:
-        return location in self._locations.get(name, ())
+    def knows(self, name: Hashable, location: str) -> bool:
+        return name in self._holdings.get(location, _NOTHING)
+
+    def holdings(self, location: str) -> Set[Hashable]:
+        """Everything ``location`` is believed to hold (a copy)."""
+        return set(self._holdings.get(location, ()))
+
+    def believed_size(self, name: Hashable, default: int = 0) -> int:
+        """The last observed size of ``name`` (``default`` when unseen)."""
+        return self._sizes.get(name, default)
+
+    def bytes_held(self, location: str) -> int:
+        """Believed bytes resident at ``location`` (the size index)."""
+        return sum(
+            self._sizes.get(name, 0)
+            for name in self._holdings.get(location, _NOTHING)
+        )
 
     def __len__(self) -> int:
         return len(self._locations)
@@ -58,13 +101,14 @@ class ObjectView:
         that lag is the staleness the scheduler tolerates by design.
         """
         for name, info in cluster.objects.items():
-            self._locations.setdefault(name, set()).update(info.locations)
+            for location in info.locations:
+                self.learn(name, location, info.size)
 
     def refresh_local(self, cluster: "Cluster") -> None:
         """Learn this node's own holdings (a node always knows its disk)."""
         for name, info in cluster.objects.items():
             if self.node in info.locations:
-                self.learn(name, self.node)
+                self.learn(name, self.node, info.size)
 
     def exchange(self, other: "ObjectView", cluster: "Cluster") -> None:
         """The pairwise inventory handshake of paper 4.2.2.
@@ -76,16 +120,22 @@ class ObjectView:
         other.refresh_local(cluster)
         mine = {name: set(locs) for name, locs in self._locations.items()}
         theirs = {name: set(locs) for name, locs in other._locations.items()}
+        my_sizes = dict(self._sizes)
+        their_sizes = dict(other._sizes)
         for name, locs in theirs.items():
-            self._locations.setdefault(name, set()).update(locs)
+            size = their_sizes.get(name)
+            for location in locs:
+                self.learn(name, location, size)
         for name, locs in mine.items():
-            other._locations.setdefault(name, set()).update(locs)
+            size = my_sizes.get(name)
+            for location in locs:
+                other.learn(name, location, size)
 
     # ------------------------------------------------------------------
     # Placement pricing
 
     def bytes_missing(
-        self, cluster: "Cluster", names: Iterable[str], machine: str
+        self, cluster: "Cluster", names: Iterable[Hashable], machine: str
     ) -> int:
         """Bytes this view *believes* must move to run on ``machine``.
 
@@ -93,8 +143,30 @@ class ObjectView:
         beliefs, so a stale view may price a machine that actually holds
         a fresh replica as if the data still had to travel.
         """
+        held = self._holdings.get(machine, _NOTHING)
         return sum(
-            cluster.object(name).size
-            for name in names
-            if machine not in self._locations.get(name, ())
+            cluster.object(name).size for name in names if name not in held
+        )
+
+    def bytes_missing_many(
+        self,
+        cluster: "Cluster",
+        names: Iterable[Hashable],
+        machines: Iterable[str],
+    ) -> Dict[str, int]:
+        """:meth:`bytes_missing` for every machine in one pass over
+        ``names`` (registry sizes, believed locations)."""
+        return self.price_moves(
+            ((name, cluster.object(name).size) for name in names), machines
+        )
+
+    def price_moves(
+        self,
+        needs: Iterable[Tuple[Hashable, int]],
+        candidates: Iterable[str],
+    ) -> Dict[str, int]:
+        """Cluster-free pricing over ``(name, size)`` pairs - the path
+        the executing runtime uses, where sizes come from handles."""
+        return costmodel.price_moves(
+            needs, lambda name: self._locations.get(name, _NOTHING), candidates
         )

@@ -3,8 +3,13 @@
 The scheduler prices every machine by the bytes its :class:`ObjectView`
 believes would have to move (paper 4.2.2), so a task lands on the holder
 of its largest dependency and ``predicted_move_bytes`` is zero when the
-data is local.  Equal-cost candidates (independent tasks, external-only
-inputs) spread by outstanding load, fed back through
+data is local.  Pricing and the decision itself live in
+:mod:`repro.dist.costmodel` - the same policy the executing runtime's
+:meth:`repro.fixpoint.net.FixpointNode.delegate_best` resolves through -
+and all machines are priced in one pass over the inputs (the holdings
+index in the view), so a wide task like fig. 10's 1,987-input link does
+not pay O(machines x inputs).  Equal-cost candidates (independent tasks,
+external-only inputs) spread by outstanding load, fed back through
 :meth:`DataflowScheduler.task_started` / :meth:`task_finished`.
 
 Two ablation/extension levers:
@@ -23,6 +28,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..core.errors import SchedulingError
+from .costmodel import choose
 from .graph import TaskSpec
 from .objectview import ObjectView
 
@@ -75,9 +81,11 @@ class DataflowScheduler:
             raise SchedulingError(f"no outstanding task on {machine!r}")
         self._outstanding[machine] -= 1
 
-    def note_output(self, name: str, machine: str) -> None:
+    def note_output(
+        self, name: str, machine: str, size: Optional[int] = None
+    ) -> None:
         """Advance the view when an output materializes somewhere."""
-        self.view.learn(name, machine)
+        self.view.learn(name, machine, size)
 
     # ------------------------------------------------------------------
     # Placement
@@ -90,33 +98,28 @@ class DataflowScheduler:
         With locality on, the winner minimises believed bytes moved: its
         missing inputs, plus - when hints are enabled and the consumer's
         location is known - the output's journey to that consumer.  Ties
-        break by outstanding load, then name (determinism).
+        break by outstanding load, then name (determinism).  The whole
+        decision is one :func:`repro.dist.costmodel.choose` call.
         """
+        missing = self.view.bytes_missing_many(
+            self.cluster, task.inputs, self._machines
+        )
         if not self.locality:
             machine = self.rng.choice(self._machines)
-            return self._placement(task, machine)
-
-        def price(machine: str) -> int:
-            moved = self.view.bytes_missing(self.cluster, task.inputs, machine)
-            if (
-                self.use_hints
-                and consumer_location is not None
-                and machine != consumer_location
-            ):
-                moved += task.output_size
-            return moved
-
-        machine = min(
+            return Placement(
+                task=task.name,
+                machine=machine,
+                predicted_move_bytes=missing[machine],
+            )
+        best = choose(
             self._machines,
-            key=lambda m: (price(m), self._outstanding[m], m),
+            missing.__getitem__,
+            self._outstanding.__getitem__,
+            output_size=task.output_size,
+            consumer_location=consumer_location if self.use_hints else None,
         )
-        return self._placement(task, machine)
-
-    def _placement(self, task: TaskSpec, machine: str) -> Placement:
         return Placement(
             task=task.name,
-            machine=machine,
-            predicted_move_bytes=self.view.bytes_missing(
-                self.cluster, task.inputs, machine
-            ),
+            machine=best.candidate,
+            predicted_move_bytes=best.move_bytes,
         )

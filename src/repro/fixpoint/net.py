@@ -5,30 +5,57 @@ module is the *functional* distributed runtime: several in-process
 Fixpoint nodes connected by message channels, delegating evaluation by
 sending Fix values in the packed wire format (paper section 4.2.1):
 
-* on connect, nodes exchange inventories (the passive object view);
+* on connect, nodes exchange inventories - content keys *and per-handle
+  wire sizes* - into a passive :class:`~repro.dist.objectview.ObjectView`;
 * ``delegate(encode)`` ships the Encode's minimum repository as one
   bundle (handles are self-describing - no scheduler round trip, no
-  extra metadata) and the remote node evaluates and replies with the
-  result's bundle;
+  extra metadata), tagged with the sender's identity so the remote node
+  can filter its reply through its view of the caller;
 * results and their data are absorbed into the caller's repository, and
-  both views advance.
+  both views advance - on send *and* on receive.
+
+Placement (:meth:`FixpointNode.delegate_best` /
+:meth:`FixpointNode.eval_anywhere`) resolves through the same
+:mod:`repro.dist.costmodel` the simulated
+:class:`~repro.dist.scheduler.DataflowScheduler` uses: peers are priced
+by the believed missing *bytes* of the footprint (not handle counts),
+genuine ties spread by in-flight delegation load, then break by name.
+Local evaluation is preferred whenever it is cheapest (a complete local
+footprint prices at zero, and no remote quote can beat zero).
 
 Channels are in-memory here (the transport is pluggable), but every byte
 crossing them really is serialized and reparsed - the wire format is
 load-bearing, not decorative.
+
+Request frame::
+
+    [u16 sender length][sender utf-8][32-byte encode handle][bundle]
+
+Response frame::
+
+    [32-byte result handle][bundle]
+
+The response bundle carries only the result data the server does *not*
+believe the caller already holds - echoing back what the caller just
+shipped would double the round trip for nothing.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List
 
 from ..core.errors import FixError, MissingObjectError
-from ..core.handle import Handle
-from ..core.minrepo import transitive_footprint
+from ..core.handle import HANDLE_BYTES, Handle
+from ..core.minrepo import Footprint, transitive_footprint
 from ..core.serialize import decode_bundle, encode_bundle
 from ..core.storage import Repository
+from ..dist.costmodel import Quote, choose
+from ..dist.objectview import ObjectView
 from .runtime import Fixpoint
+
+_SENDER_LEN = struct.Struct("<H")
 
 
 class NetworkError(FixError):
@@ -65,8 +92,13 @@ class FixpointNode:
         self.name = name
         self.runtime = Fixpoint(workers=workers)
         self.peers: Dict[str, Channel] = {}
-        #: What this node believes its peers hold (the passive view).
-        self.view: Dict[str, Set[bytes]] = {}
+        #: What this node believes its peers hold (the passive view):
+        #: object names are content keys, locations are peer names, and
+        #: sizes come from the handles seen in inventory/wire traffic.
+        self.view = ObjectView(name)
+        #: In-flight delegations per peer - the load signal the cost
+        #: model spreads equal-price candidates with.
+        self.outstanding: Dict[str, int] = {}
         self.delegations_served = 0
         self.delegations_sent = 0
 
@@ -84,8 +116,12 @@ class FixpointNode:
         channel = Channel(self, other)
         self.peers[other.name] = channel
         other.peers[self.name] = channel
-        self.view[other.name] = {h.content_key() for h in other.repo.handles()}
-        other.view[self.name] = {h.content_key() for h in self.repo.handles()}
+        self.outstanding.setdefault(other.name, 0)
+        other.outstanding.setdefault(self.name, 0)
+        for handle in other.repo.handles():
+            self.view.learn(handle.content_key(), other.name, handle.byte_size())
+        for handle in self.repo.handles():
+            other.view.learn(handle.content_key(), self.name, handle.byte_size())
         return channel
 
     def _peer(self, name: str) -> "FixpointNode":
@@ -101,7 +137,8 @@ class FixpointNode:
         """Evaluate ``encode`` on a peer; returns the (absorbed) result.
 
         Ships only data the peer is not known to hold - the view keeps
-        repeated delegations cheap.
+        repeated delegations cheap in both directions (the reply is
+        filtered symmetrically by the server; see :meth:`_serve`).
         """
         channel = self.peers.get(peer_name)
         if channel is None:
@@ -109,60 +146,140 @@ class FixpointNode:
         peer = self._peer(peer_name)
         fp = transitive_footprint(self.repo, encode)
         to_ship: List[Handle] = []
-        known = self.view.setdefault(peer_name, set())
         for handle in self.repo.handles():
             key = handle.content_key()
-            if key in fp.data and key not in known:
+            if key in fp.data and not self.view.knows(key, peer_name):
                 to_ship.append(handle)
-        request = encode.pack() + encode_bundle(self.repo, to_ship)
+        sender = self.name.encode("utf-8")
+        request = (
+            _SENDER_LEN.pack(len(sender))
+            + sender
+            + encode.pack()
+            + encode_bundle(self.repo, to_ship)
+        )
         wire = channel.send(self, request)
         self.delegations_sent += 1
         # The view advances passively on every send (paper 4.2.2).
-        known.update(h.content_key() for h in to_ship)
-        response = peer._serve(wire)
+        for handle in to_ship:
+            self.view.learn(handle.content_key(), peer_name, handle.byte_size())
+        self.outstanding[peer_name] = self.outstanding.get(peer_name, 0) + 1
+        try:
+            response = peer._serve(wire)
+        finally:
+            self.outstanding[peer_name] -= 1
         wire_back = channel.send(peer, response)
-        result, payload = (
-            Handle.unpack(wire_back[:32]),
-            wire_back[32:],
-        )
-        absorbed = decode_bundle(self.repo, payload)
-        known.update(h.content_key() for h in absorbed)
-        known.add(result.content_key())
+        result = Handle.unpack(wire_back[:HANDLE_BYTES])
+        absorbed = decode_bundle(self.repo, wire_back[HANDLE_BYTES:])
+        for handle in absorbed:
+            self.view.learn(handle.content_key(), peer_name, handle.byte_size())
+        self.view.learn(result.content_key(), peer_name, result.byte_size())
         self.repo.put_result(encode, result)
         return result
 
     def _serve(self, wire: bytes) -> bytes:
-        """Peer side: parse, evaluate, reply with the result bundle."""
-        encode = Handle.unpack(wire[:32])
-        received = decode_bundle(self.repo, wire[32:])
+        """Peer side: parse, evaluate, reply with the *filtered* bundle.
+
+        The request names its sender, so the reply ships only result
+        data the sender is not believed to hold - in particular, never
+        data the sender itself just shipped in this request.
+        """
+        (sender_len,) = _SENDER_LEN.unpack_from(wire, 0)
+        offset = _SENDER_LEN.size
+        sender = wire[offset : offset + sender_len].decode("utf-8")
+        offset += sender_len
+        encode = Handle.unpack(wire[offset : offset + HANDLE_BYTES])
+        received = decode_bundle(self.repo, wire[offset + HANDLE_BYTES :])
         self.delegations_served += 1
+        # The sender evidently holds everything it shipped: the server's
+        # view of the caller advances on receive, mirroring the caller's
+        # advance on send.
+        for handle in received:
+            self.view.learn(handle.content_key(), sender, handle.byte_size())
         result = self.runtime.eval(encode)
-        # Reply with the result and every datum needed to read it.
+        # Reply with the result and the data needed to read it, filtered
+        # through the view of the caller ("ship only what the peer is
+        # not known to hold" - the same rule delegate applies).
         result_fp = transitive_footprint(self.repo, result)
         to_ship = [
             handle
             for handle in self.repo.handles()
             if handle.content_key() in result_fp.data
+            and not self.view.knows(handle.content_key(), sender)
         ]
+        for handle in to_ship:
+            self.view.learn(handle.content_key(), sender, handle.byte_size())
+        self.view.learn(result.content_key(), sender, result.byte_size())
         return result.pack() + encode_bundle(self.repo, to_ship)
 
     # ------------------------------------------------------------------
-    # Placement-lite: run where the data is
+    # Placement: the shared cost model decides where to run
+
+    def _quote_peers(self, fp: Footprint, local: Dict[bytes, int]) -> Quote:
+        """Price every peer for ``fp`` through the shared cost model.
+
+        Sizes are authoritative for locally-held data and believed (from
+        the inventory exchange) otherwise; a key whose size nobody ever
+        reported prices as zero, which charges every candidate equally
+        and so never skews the choice.
+
+        Candidates are first filtered for *serviceability*: a footprint
+        key this node cannot ship (not held locally) and the peer is not
+        believed to hold would strand the evaluation there, so peers
+        with such keys only stay candidates when every peer has them
+        (the view may be stale - the peer might hold the datum anyway,
+        and delegating is the only way to find out; staleness must never
+        fail a delegation that could have worked).
+        """
+        needs = [
+            (key, local.get(key, self.view.believed_size(key)))
+            for key in fp.data
+        ]
+        prices = self.view.price_moves(needs, self.peers)
+        unshippable = [
+            (key, size) for key, size in needs if key not in local
+        ]
+        stranded = self.view.price_moves(unshippable, self.peers)
+        candidates = [
+            peer for peer in self.peers if stranded[peer] == 0
+        ] or list(self.peers)
+        return choose(
+            candidates,
+            prices.__getitem__,
+            lambda peer: self.outstanding.get(peer, 0),
+        )
+
+    def quote_best(self, encode: Handle) -> Quote:
+        """The cheapest peer quote for evaluating ``encode`` remotely.
+
+        This is the executing-runtime twin of
+        :meth:`repro.dist.scheduler.DataflowScheduler.place`: believed
+        missing bytes first, in-flight delegation load on ties, then
+        name.  A serviceable peer believed to hold *nothing* is still a
+        candidate, it just prices at the full footprint.
+        """
+        if not self.peers:
+            raise NetworkError(f"{self.name}: no peers to delegate to")
+        fp = transitive_footprint(self.repo, encode)
+        return self._quote_peers(fp, self.runtime.holdings())
+
+    def delegate_best(self, encode: Handle) -> Handle:
+        """Delegate to the peer the shared cost model prices cheapest."""
+        return self.delegate(self.quote_best(encode).candidate, encode)
 
     def eval_anywhere(self, encode: Handle) -> Handle:
-        """Evaluate locally if possible; otherwise delegate to the peer
-        that already holds the largest share of the footprint."""
+        """Evaluate locally when that is cheapest; otherwise delegate
+        through the shared cost model (:meth:`delegate_best`).
+
+        A complete local footprint prices at zero bytes moved, and no
+        remote quote can be cheaper than zero - so "prefer local when
+        cheapest" reduces to: run here when everything is resident,
+        delegate to the cheapest peer otherwise.  (A node cannot *pull*
+        data, so an incomplete local footprint is not a candidate.)
+        """
         fp = transitive_footprint(self.repo, encode)
-        local_keys = {h.content_key() for h in self.repo.handles()}
-        if fp.data <= local_keys:
+        local = self.runtime.holdings()
+        if fp.data <= local.keys():
             return self.runtime.eval(encode)
-        best: Optional[str] = None
-        best_score = -1
-        for peer_name, known in self.view.items():
-            score = len(fp.data & known)
-            if score > best_score:
-                best_score = score
-                best = peer_name
-        if best is None:
+        if not self.peers:
             raise MissingObjectError(encode, self.name)
-        return self.delegate(best, encode)
+        return self.delegate(self._quote_peers(fp, local).candidate, encode)

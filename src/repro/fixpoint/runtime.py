@@ -139,6 +139,16 @@ class Fixpoint:
         finally:
             self._merge_stats(evaluator.stats)
 
+    def holdings(self) -> Dict[bytes, int]:
+        """Content key -> wire size for everything in runtime storage.
+
+        This is the node's authoritative inventory: what it can ship, and
+        the ground truth a delegating node prices its *local* option with
+        (remote options are priced from beliefs; see
+        :mod:`repro.fixpoint.net`).
+        """
+        return {h.content_key(): h.byte_size() for h in self.repo.handles()}
+
     def eval_blob(self, handle: Handle) -> bytes:
         """Evaluate and return the resulting Blob's payload."""
         result = self.eval(handle)

@@ -9,6 +9,17 @@ from repro.core.errors import MissingObjectError
 from repro.core.thunks import make_application, make_identification, strict
 from repro.fixpoint.net import FixpointNode, NetworkError
 
+#: A padded codelet whose shipping cost is visible on the wire.
+FAT_INC_SOURCE = (
+    '"""'
+    + "p" * 600
+    + '"""\n'
+    "def _fix_apply(fix, input):\n"
+    "    entries = fix.read_tree(input)\n"
+    "    n = int.from_bytes(fix.read_blob(entries[2]), 'little')\n"
+    "    return fix.create_blob((n + 1).to_bytes(8, 'little'))\n"
+)
+
 
 @pytest.fixture
 def pair():
@@ -47,16 +58,7 @@ class TestDelegation:
         a, b = pair
         # A codelet only alpha has (compiled after the inventory
         # exchange), padded so its shipping cost is visible.
-        source = (
-            '"""'
-            + "p" * 600
-            + '"""\n'
-            "def _fix_apply(fix, input):\n"
-            "    entries = fix.read_tree(input)\n"
-            "    n = int.from_bytes(fix.read_blob(entries[2]), 'little')\n"
-            "    return fix.create_blob((n + 1).to_bytes(8, 'little'))\n"
-        )
-        fn = a.runtime.compile(source, "fat-inc")
+        fn = a.runtime.compile(FAT_INC_SOURCE, "fat-inc")
 
         def encode_for(n):
             return a.runtime.invoke(
@@ -136,3 +138,167 @@ class TestEvalAnywhere:
         encode = add_encode(b, 10, 20)
         # b can serve both ends.
         assert blob_int(b.repo.get_blob(b.eval_anywhere(encode)).data) == 30
+
+    def test_cold_peer_never_beats_warm_peer(self):
+        """Regression: the old greedy scorer started at -1, so a peer
+        holding *zero* footprint bytes could win on dict order."""
+        alpha = FixpointNode("alpha")
+        cold = FixpointNode("cold")
+        warm = FixpointNode("warm")
+        fn = warm.runtime.compile(FAT_INC_SOURCE, "fat-inc")
+        alpha.connect(cold)  # cold connects first: dict-order bait
+        alpha.connect(warm)
+        arg = alpha.repo.put_blob(int_blob(41))
+        encode = make_application(alpha.repo, fn, [arg]).wrap_strict()
+        result = alpha.eval_anywhere(encode)
+        assert blob_int(alpha.repo.get_blob(result).data) == 42
+        assert warm.delegations_served == 1
+        assert cold.delegations_served == 0
+
+    def test_bytes_beat_handle_counts(self):
+        """A peer holding many tiny footprint objects loses to the peer
+        holding the big one - bytes moved decide, not object counts."""
+        alpha = FixpointNode("alpha")
+        many = FixpointNode("many")  # will hold 10 x 40 B of the footprint
+        big = FixpointNode("big")  # will hold 1 x ~2 KiB of it
+        smalls = [bytes([i]) * 40 for i in range(10)]
+        big_payload = bytes(range(256)) * 8  # 2 KiB
+        for payload in smalls:
+            alpha.repo.put_blob(payload)  # alpha can ship these
+            many.repo.put_blob(payload)
+        hbig = big.repo.put_blob(big_payload)
+        fn = alpha.runtime.compile(
+            "def _fix_apply(fix, input):\n"
+            "    entries = fix.read_tree(input)\n"
+            "    total = sum(len(fix.read_blob(e)) for e in entries[2:])\n"
+            "    return fix.create_blob(total.to_bytes(8, 'little'))\n",
+            "sizes",
+        )
+        alpha.connect(many)
+        alpha.connect(big)
+        args = [alpha.repo.put_blob(p) for p in smalls] + [hbig]
+        encode = make_application(alpha.repo, fn, args).wrap_strict()
+        # The bait: "many" overlaps the footprint on more *objects*...
+        quote = alpha.quote_best(encode)
+        assert quote.candidate == "big"  # ...but fewer *bytes*
+        result = alpha.eval_anywhere(encode)
+        assert big.delegations_served == 1
+        assert many.delegations_served == 0
+        total = int.from_bytes(alpha.repo.get_blob(result).data, "little")
+        assert total == 10 * 40 + 2048
+
+    def test_ties_break_by_inflight_load_then_name(self):
+        alpha = FixpointNode("alpha")
+        left = FixpointNode("left")
+        right = FixpointNode("right")
+        fn_left = left.runtime.compile(FAT_INC_SOURCE, "fat-inc")
+        fn_right = right.runtime.compile(FAT_INC_SOURCE, "fat-inc")
+        assert fn_left == fn_right
+        alpha.connect(left)
+        alpha.connect(right)
+        arg = alpha.repo.put_blob(int_blob(1))
+        encode = make_application(alpha.repo, fn_left, [arg]).wrap_strict()
+        # Equal bytes missing on both: the name breaks the tie...
+        assert alpha.quote_best(encode).candidate == "left"
+        # ...unless one peer already has delegations in flight.
+        alpha.outstanding["left"] = 2
+        assert alpha.quote_best(encode).candidate == "right"
+
+    def test_delegate_best_without_peers(self):
+        lonely = FixpointNode("lonely")
+        with pytest.raises(NetworkError):
+            lonely.delegate_best(add_encode(lonely, 1, 1))
+
+    def test_cheap_but_unserviceable_peer_loses_to_feasible_peer(self):
+        """A peer may price cheapest yet be a dead end: the caller cannot
+        ship a key the peer is not believed to hold.  The feasible peer
+        must win even at a higher bytes price."""
+        alpha = FixpointNode("alpha")
+        beta = FixpointNode("beta")
+        gamma = FixpointNode("gamma")
+        key_payload = b"k" * 40  # small: only gamma has it
+        big_payload = bytes(range(256)) * 8  # 2 KiB: alpha and beta have it
+        hkey = gamma.repo.put_blob(key_payload)
+        hbig = beta.repo.put_blob(big_payload)
+        alpha.repo.put_blob(big_payload)
+        fn = alpha.runtime.compile(
+            "def _fix_apply(fix, input):\n"
+            "    entries = fix.read_tree(input)\n"
+            "    total = sum(len(fix.read_blob(e)) for e in entries[2:])\n"
+            "    return fix.create_blob(total.to_bytes(8, 'little'))\n",
+            "sizes",
+        )
+        alpha.connect(beta)
+        alpha.connect(gamma)
+        encode = make_application(alpha.repo, fn, [hkey, hbig]).wrap_strict()
+        # Bytes alone say beta (missing only the 40 B key vs gamma's
+        # 2 KiB blob) - but alpha cannot ship the key to beta, so the
+        # delegation would strand there.
+        quote = alpha.quote_best(encode)
+        assert quote.candidate == "gamma"
+        result = alpha.eval_anywhere(encode)
+        assert gamma.delegations_served == 1
+        assert beta.delegations_served == 0
+        total = int.from_bytes(alpha.repo.get_blob(result).data, "little")
+        assert total == 40 + 2048
+
+    def test_local_preferred_even_when_a_peer_is_also_free(self):
+        """Prefer local when cheapest: a peer believed to hold the whole
+        footprint (price zero, like local) must not steal the job."""
+        a = FixpointNode("alpha")
+        b = FixpointNode("beta")
+        encode = add_encode(a, 2, 3)
+        a.connect(b)  # b holds the same stdlib: its price is zero too
+        result = a.eval_anywhere(encode)
+        assert blob_int(a.repo.get_blob(result).data) == 5
+        assert a.delegations_sent == 0
+
+
+class TestReplyFiltering:
+    def test_reply_does_not_echo_caller_shipped_data(self, pair):
+        """The server filters the reply through its view of the caller:
+        data the caller just shipped never rides the wire back."""
+        a, b = pair
+        payload = bytes(range(256)) * 8  # 2 KiB
+        blob = a.repo.put_blob(payload)
+        encode = strict(make_identification(blob))
+        result = a.delegate("beta", encode)
+        channel = a.peers["beta"]
+        # Request carries the blob; the reply is just the result handle
+        # plus an (empty) bundle - the old code echoed all 2 KiB back.
+        assert channel.bytes_ab > len(payload)
+        assert channel.bytes_ba < 100
+        assert a.repo.get_blob(result).data == payload
+        assert b.repo.get_blob(result).data == payload
+
+    def test_round_trip_bytes_drop_on_repeated_delegation(self, pair):
+        """Second identity round trip: the view knows both directions,
+        so neither request nor reply re-ships the payload."""
+        a, b = pair
+        payload = bytes(range(256)) * 8
+        blob = a.repo.put_blob(payload)
+        first = a.delegate("beta", strict(make_identification(blob)))
+        channel = a.peers["beta"]
+        first_round = channel.total_bytes
+        # A fresh encode over the same datum (identification of a tree
+        # holding the blob): only the new tiny tree ships.
+        tree = a.repo.put_tree([blob, blob])
+        a.delegate("beta", strict(make_identification(tree)))
+        second_round = channel.total_bytes - first_round
+        assert second_round < len(payload) / 2
+        assert second_round < first_round / 2
+
+    def test_server_view_learns_from_requests(self, pair):
+        """The sender identity in the frame advances the server's view:
+        a reverse delegation needing the same datum ships nothing."""
+        a, b = pair
+        payload = bytes(range(256)) * 8
+        blob = a.repo.put_blob(payload)
+        a.delegate("beta", strict(make_identification(blob)))
+        assert b.view.knows(blob.content_key(), "alpha")
+        channel = a.peers["beta"]
+        before = channel.total_bytes
+        # Beta now delegates work over that datum back to alpha.
+        back = b.delegate("alpha", strict(make_identification(blob)))
+        assert b.repo.get_blob(back).data == payload
+        assert channel.total_bytes - before < 150  # handles, no payloads

@@ -54,6 +54,7 @@ EXPECTED_MODULES = [
     "repro.core.storage",
     "repro.core.thunks",
     "repro.dist",
+    "repro.dist.costmodel",
     "repro.dist.engine",
     "repro.dist.graph",
     "repro.dist.multitenancy",
@@ -119,6 +120,7 @@ class TestDistExports:
         names the package exposes."""
         dist = importlib.import_module("repro.dist")
         submodules = {
+            "costmodel",
             "graph",
             "objectview",
             "scheduler",
