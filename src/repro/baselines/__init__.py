@@ -7,7 +7,7 @@ same simulated clusters.  Every constant lives in
 :mod:`repro.baselines.calibration` with provenance notes.
 """
 
-from .base import Platform, RunResult
+from .base import JobRun, Platform, RunResult
 from .calibration import Calibration, DEFAULT_CALIBRATION
 from .faasm import Faasm
 from .kubernetes import KubeScheduler
@@ -21,6 +21,7 @@ __all__ = [
     "Calibration",
     "DEFAULT_CALIBRATION",
     "Faasm",
+    "JobRun",
     "KubeScheduler",
     "MinIO",
     "OpenWhisk",

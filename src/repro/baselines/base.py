@@ -6,6 +6,15 @@ placements, runs every task as its dependencies complete (each platform
 defines its own ``invoke`` process), and reports a :class:`RunResult` with
 the makespan and the ``/proc/stat``-style CPU breakdown.
 
+The lifecycle is split so many jobs can share one platform instance:
+:meth:`Platform.start` loads a graph and launches its task drivers
+without touching the clock, returning a :class:`JobRun` whose ``done``
+event an external driver (the classic :meth:`Platform.run`, or
+:class:`repro.dist.admission.AdmissionController`) awaits.  Every
+completed invocation appends an
+:class:`~repro.fixpoint.billing.InvocationMeter` to its job, so
+per-tenant bills come from executed work, not synthetic meters.
+
 Platform models share helpers for fetching objects (from peer machines,
 the client, or the external storage service) and for charging CPU states
 while simulated work happens.
@@ -19,11 +28,33 @@ from typing import Dict, Iterable, List, Optional
 
 from ..core.errors import SchedulingError
 from ..dist.graph import CLIENT, EXTERNAL, JobGraph, TaskSpec
+from ..fixpoint.billing import InvocationMeter
 from ..sim.cluster import Cluster
 from ..sim.engine import Event, Simulator, all_of
 from ..sim.stats import CpuReport, report
 from ..sim.storage_service import StorageService
 from .calibration import Calibration, DEFAULT_CALIBRATION
+
+
+@dataclass
+class JobRun:
+    """One graph in flight on a (possibly shared) platform.
+
+    ``done`` succeeds when every task has finished; ``meters`` holds one
+    :class:`InvocationMeter` per completed invocation, in completion
+    order - the raw material for pay-for-results vs pay-for-effort
+    billing of *executed* work.
+    """
+
+    index: int
+    job_id: str
+    graph: JobGraph
+    submitter: str
+    started_at: float
+    deadline_slack_hours: float = 0.0
+    task_finish: Dict[str, float] = field(default_factory=dict)
+    meters: List[InvocationMeter] = field(default_factory=list)
+    done: Optional[Event] = None
 
 
 @dataclass
@@ -106,6 +137,7 @@ class Platform:
                 CLIENT, client_bandwidth or calib.tcp_stream_bw
             )
         self._task_done: Dict[str, Event] = {}
+        self._job_seq = 0
         # In-flight replica transfers, deduplicated per (object, node): a
         # platform's network worker never fetches the same object to the
         # same place twice concurrently.
@@ -123,10 +155,14 @@ class Platform:
     # ------------------------------------------------------------------
     # Execution driver
 
-    def invoke(self, task: TaskSpec, submitter: str) -> Event:
+    def invoke(
+        self, task: TaskSpec, submitter: str, job: Optional[JobRun] = None
+    ) -> Event:
         """Run one task; the event's value is the machine that ran it.
 
-        Subclasses implement :meth:`_invoke_proc`.
+        Subclasses implement :meth:`_invoke_proc`; engines that keep
+        per-job state (scheduler views) override :meth:`invoke` itself to
+        thread ``job`` through.
         """
         self.invocations += 1
         return self.sim.process(
@@ -136,26 +172,79 @@ class Platform:
     def _invoke_proc(self, task: TaskSpec, submitter: str):
         raise NotImplementedError
 
-    def run(self, graph: JobGraph, submitter: str = CLIENT) -> RunResult:
-        """Execute the whole graph; returns makespan and CPU report."""
+    def _meter(
+        self, task: TaskSpec, began: float, job: JobRun
+    ) -> InvocationMeter:
+        """What the platform measured for one completed invocation.
+
+        ``wall_seconds`` spans dependency-ready to function-return: the
+        whole slice a provisioned pod would have occupied (delegation,
+        fetches, queueing) - exactly what pay-for-effort charges for.
+        ``user_cpu_seconds`` is the declared compute alone (core-seconds
+        the function itself retired); platform overheads like
+        oversubscription context switches are the provider's fault and
+        stay out of the pay-for-results meter.
+        """
+        input_bytes = sum(
+            self.cluster.object(name).size for name in task.inputs
+        )
+        return InvocationMeter(
+            input_bytes=input_bytes,
+            reserved_memory_bytes=task.memory_bytes,
+            user_cpu_seconds=task.compute_seconds * task.cores,
+            bytes_mapped=input_bytes + task.output_size,
+            wall_seconds=self.sim.now - began,
+            deadline_slack_hours=job.deadline_slack_hours,
+        )
+
+    def start(
+        self,
+        graph: JobGraph,
+        submitter: str = CLIENT,
+        deadline_slack_hours: float = 0.0,
+    ) -> JobRun:
+        """Load ``graph`` and launch its task drivers *without* running
+        the clock - the multi-job entry point.
+
+        Several jobs may be in flight at once on one platform; their
+        invocations interleave on the shared cluster and each completed
+        one meters into its own :class:`JobRun`.  An external driver
+        (:meth:`run`, or the admission layer) advances the simulator and
+        awaits ``job.done``.
+        """
         self.load(graph)
-        start = self.sim.now
-        finish_times: Dict[str, float] = {}
+        job = JobRun(
+            index=self._job_seq,
+            job_id=f"job{self._job_seq}",
+            graph=graph,
+            submitter=submitter,
+            started_at=self.sim.now,
+            deadline_slack_hours=deadline_slack_hours,
+        )
+        self._job_seq += 1
         done_events: Dict[str, Event] = {}
 
         def task_driver(task: TaskSpec):
             deps = graph.dependencies(task)
             if deps:
                 yield all_of(self.sim, [done_events[d] for d in deps])
-            yield self.invoke(task, submitter)
-            finish_times[task.name] = self.sim.now
+            began = self.sim.now
+            yield self.invoke(task, submitter, job)
+            job.task_finish[task.name] = self.sim.now
+            job.meters.append(self._meter(task, began, job))
 
         for task in graph.topological_order():
             done_events[task.name] = self.sim.process(
-                task_driver(task), name=f"driver:{task.name}"
+                task_driver(task), name=f"driver:{job.job_id}:{task.name}"
             )
-        self.sim.run_until(all_of(self.sim, list(done_events.values())))
-        makespan = self.sim.now - start
+        job.done = all_of(self.sim, list(done_events.values()))
+        return job
+
+    def run(self, graph: JobGraph, submitter: str = CLIENT) -> RunResult:
+        """Execute the whole graph; returns makespan and CPU report."""
+        job = self.start(graph, submitter)
+        self.sim.run_until(job.done)
+        makespan = self.sim.now - job.started_at
         cpu = report(
             self.cluster.accountant,
             total_cores=self.cluster.total_cores,
@@ -165,7 +254,7 @@ class Platform:
             platform=self.name,
             makespan=makespan,
             cpu=cpu,
-            task_finish=finish_times,
+            task_finish=dict(job.task_finish),
             bytes_transferred=self.cluster.network.bytes_transferred,
             messages=self.cluster.network.messages,
             invocations=self.invocations,

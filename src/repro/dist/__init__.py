@@ -14,12 +14,16 @@ Five modules, mirroring the paper's distributed design (sections 4.2, 5-6):
   locality-first placement with load feedback and output-size hints;
 * :mod:`repro.dist.engine` - :class:`FixpointSim`, the distributed
   platform with externalized I/O and late binding (plus its ablations);
-* :mod:`repro.dist.multitenancy` - section 6's footprint-aware packing.
+* :mod:`repro.dist.multitenancy` - section 6's footprint-aware packing,
+  the profile-from-graph derivation, and the online single-bin check;
+* :mod:`repro.dist.admission` - :class:`AdmissionController`, the
+  multi-tenant queue/admit/fair-share/bill layer that connects the
+  engine to the packing model (section 6 end to end).
 
-``engine`` is imported lazily (PEP 562): it builds on
-:mod:`repro.baselines.base`, which itself consumes the job IR from this
-package, so an eager import here would complete the baselines <-> dist
-cycle.  Everything in ``__all__`` is still reachable as
+``engine`` and ``admission`` are imported lazily (PEP 562): they build
+on :mod:`repro.baselines.base`, which itself consumes the job IR from
+this package, so an eager import here would complete the baselines <->
+dist cycle.  Everything in ``__all__`` is still reachable as
 ``repro.dist.<name>``.
 """
 
@@ -38,15 +42,21 @@ from .multitenancy import (
     Packing,
     Phase,
     density_ratio,
+    fits_online,
     footprint_aware_packing,
     peak_reservation_packing,
+    profile_from_graph,
     spiky_workload,
     validate_packing,
+    validate_timeline,
 )
 from .objectview import ObjectView
 from .scheduler import DataflowScheduler, Placement
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "AdmissionReport",
     "AppProfile",
     "CLIENT",
     "DataSpec",
@@ -54,22 +64,38 @@ __all__ = [
     "EXTERNAL",
     "FixpointSim",
     "JobGraph",
+    "JobTicket",
     "ObjectView",
     "Packing",
     "Phase",
     "Placement",
     "Quote",
     "TaskSpec",
+    "TenantBill",
+    "TenantQueue",
     "choose",
     "density_ratio",
+    "fits_online",
     "footprint_aware_packing",
     "peak_reservation_packing",
     "price_moves",
+    "profile_from_graph",
+    "spike_job",
     "spiky_workload",
     "validate_packing",
+    "validate_timeline",
 ]
 
-_LAZY = {"FixpointSim": ("repro.dist.engine", "FixpointSim")}
+_LAZY = {
+    "FixpointSim": ("repro.dist.engine", "FixpointSim"),
+    "AdmissionController": ("repro.dist.admission", "AdmissionController"),
+    "AdmissionError": ("repro.dist.admission", "AdmissionError"),
+    "AdmissionReport": ("repro.dist.admission", "AdmissionReport"),
+    "JobTicket": ("repro.dist.admission", "JobTicket"),
+    "TenantBill": ("repro.dist.admission", "TenantBill"),
+    "TenantQueue": ("repro.dist.admission", "TenantQueue"),
+    "spike_job": ("repro.dist.admission", "spike_job"),
+}
 
 
 def __getattr__(name: str):

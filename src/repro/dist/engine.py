@@ -19,21 +19,31 @@ happens while holding them, charged as iowait.  ``oversubscribe_cores``
 reproduces the paper's internal-I/O configurations (fig. 8a: 200
 schedulable cores on a 32-core box), with the measured ~7.5% compute
 penalty once schedulable exceeds physical cores.
+
+**Many jobs, one platform** - :meth:`FixpointSim.start` (inherited
+lifecycle, specialised here) lets several ``(tenant, JobGraph)``
+submissions execute concurrently on one shared cluster, the regime the
+admission layer (:mod:`repro.dist.admission`) packs for.  Each job gets
+its *own* :class:`DataflowScheduler` over its own :class:`ObjectView`
+snapshot - a late-arriving job believes the cluster as it looked at its
+admission, and staleness costs only redundant transfers, never
+correctness - while all job schedulers share one outstanding-load map so
+co-resident jobs spread around each other's work.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..baselines.base import Platform
+from ..baselines.base import JobRun, Platform
 from ..baselines.calibration import (
     FIXPOINT_INVOKE,
     INTERNAL_IO_RESUME,
     OVERSUBSCRIPTION_PENALTY,
 )
 from ..sim.cluster import Cluster
-from ..sim.engine import Simulator
-from .graph import JobGraph, TaskSpec
+from ..sim.engine import Event, Simulator
+from .graph import CLIENT, JobGraph, TaskSpec
 from .objectview import ObjectView
 from .scheduler import DataflowScheduler
 
@@ -68,6 +78,11 @@ class FixpointSim(Platform):
         if oversubscribe_cores is not None:
             for machine in cluster.machines.values():
                 machine.resize_cores(oversubscribe_cores)
+        self._seed = seed
+        #: The platform-global scheduler: its view is the coordinator-eye
+        #: belief (synced at every load, learns every output).  Jobs place
+        #: through their own per-job schedulers (see :meth:`start`), which
+        #: share this scheduler's outstanding-load map.
         self.scheduler = DataflowScheduler(
             cluster,
             ObjectView("fixpoint-scheduler"),
@@ -75,6 +90,8 @@ class FixpointSim(Platform):
             use_hints=use_hints,
             seed=seed,
         )
+        #: job_id -> that job's scheduler (own view, shared load).
+        self._job_schedulers: Dict[str, DataflowScheduler] = {}
         self._graph: Optional[JobGraph] = None
         self.name = self._ablation_name()
 
@@ -97,6 +114,44 @@ class FixpointSim(Platform):
         # are learned as they materialize (note_output below).
         self.scheduler.view.sync_from_cluster(self.cluster)
 
+    def start(
+        self,
+        graph: JobGraph,
+        submitter: str = CLIENT,
+        deadline_slack_hours: float = 0.0,
+    ) -> JobRun:
+        """Launch one of possibly many concurrent jobs on this platform.
+
+        The job gets its own scheduler: a fresh :class:`ObjectView`
+        snapshot of the cluster as of admission (later jobs' outputs stay
+        unknown to it - tolerated staleness), a per-job rng stream for
+        the ``locality=False`` ablation (derived from the platform seed
+        and the job index, so concurrent no-locality jobs don't convoy
+        onto identical "random" nodes), and the *shared* outstanding-load
+        map, which is how one job's burst is visible to another's
+        placement.
+        """
+        job = super().start(
+            graph, submitter, deadline_slack_hours=deadline_slack_hours
+        )
+        view = ObjectView(f"fixpoint-{job.job_id}")
+        view.sync_from_cluster(self.cluster)
+        self._job_schedulers[job.job_id] = DataflowScheduler(
+            self.cluster,
+            view,
+            locality=self.locality,
+            use_hints=self.use_hints,
+            seed=self._seed + job.index,
+            outstanding=self.scheduler._outstanding,
+        )
+        # The per-job view dies with the job (no invocation of a
+        # finished job can run again); without this, admission-heavy
+        # runs would leak one full-cluster snapshot per finished job.
+        job.done.add_callback(
+            lambda _event, jid=job.job_id: self._job_schedulers.pop(jid, None)
+        )
+        return job
+
     def _compute_penalty(self, machine: str) -> float:
         """Context-switch/cache pressure once schedulable > physical cores
         (the paper measures 7.5% on fig. 8b's internal-I/O row)."""
@@ -105,7 +160,12 @@ class FixpointSim(Platform):
             return 1.0 + OVERSUBSCRIPTION_PENALTY
         return 1.0
 
-    def _consumer_hint(self, task: TaskSpec) -> Optional[str]:
+    def _consumer_hint(
+        self,
+        task: TaskSpec,
+        graph: Optional[JobGraph],
+        scheduler: DataflowScheduler,
+    ) -> Optional[str]:
         """Where this task's consumer is expected to run, if known.
 
         Explicit pins win; otherwise, with hints enabled, the unique
@@ -118,10 +178,10 @@ class FixpointSim(Platform):
         pin = self.consumer_pins.get(task.name)
         if pin is not None:
             return pin
-        if self._graph is None:
+        if graph is None:
             return None
         consumers = [
-            t for t in self._graph.tasks.values() if task.output in t.inputs
+            t for t in graph.tasks.values() if task.output in t.inputs
         ]
         if len(consumers) != 1:
             return None
@@ -132,7 +192,7 @@ class FixpointSim(Platform):
                 continue
             locations = [
                 loc
-                for loc in self.scheduler.view.where(name)
+                for loc in scheduler.view.where(name)
                 if loc in self.cluster.machines
             ]
             size = self.cluster.object(name).size
@@ -143,13 +203,30 @@ class FixpointSim(Platform):
 
     # ------------------------------------------------------------------
 
-    def _invoke_proc(self, task: TaskSpec, submitter: str):
-        placement = self.scheduler.place(
-            task, consumer_location=self._consumer_hint(task)
+    def invoke(
+        self, task: TaskSpec, submitter: str, job: Optional[JobRun] = None
+    ) -> Event:
+        """Run one task, placed by its job's scheduler when it has one."""
+        self.invocations += 1
+        return self.sim.process(
+            self._invoke_proc(task, submitter, job),
+            name=f"{self.name}:{task.name}",
+        )
+
+    def _invoke_proc(
+        self, task: TaskSpec, submitter: str, job: Optional[JobRun] = None
+    ):
+        scheduler = self.scheduler
+        graph = self._graph
+        if job is not None and job.job_id in self._job_schedulers:
+            scheduler = self._job_schedulers[job.job_id]
+            graph = job.graph
+        placement = scheduler.place(
+            task, consumer_location=self._consumer_hint(task, graph, scheduler)
         )
         node = placement.machine
         machine = self.cluster.machine(node)
-        self.scheduler.task_started(node)
+        scheduler.task_started(node)
         try:
             # Delegation is one self-describing message: the handle carries
             # the dependency information (no scheduler round trips).
@@ -198,9 +275,13 @@ class FixpointSim(Platform):
                     machine.memory.release(task.memory_bytes)
                     machine.cores.release(task.cores)
         finally:
-            self.scheduler.task_finished(node)
+            scheduler.task_finished(node)
         # The output materializes at the execution site, and the
         # scheduler's view learns it (consumers will chase the data).
+        # The platform-global view learns it too: it is the
+        # coordinator-eye belief other jobs snapshot at admission.
         self.cluster.add_object(task.output, task.output_size, node)
-        self.scheduler.note_output(task.output, node, task.output_size)
+        scheduler.note_output(task.output, node, task.output_size)
+        if scheduler is not self.scheduler:
+            self.scheduler.note_output(task.output, node, task.output_size)
         return node

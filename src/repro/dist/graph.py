@@ -122,6 +122,34 @@ class JobGraph:
         self._producers[task.output] = task.name
         return task
 
+    def prefixed(self, prefix: str) -> "JobGraph":
+        """A renamed copy: every data, task, and object name gains
+        ``prefix/``.
+
+        The cluster's object registry is a single namespace, so running
+        two instances of one graph (two tenants submitting the same
+        wordcount) would collide on object names; the admission layer
+        prefixes each submission with its ticket name.  Placements,
+        sizes, and compute are untouched - only names change.
+        """
+        out = JobGraph()
+        for spec in self.data.values():
+            out.add_data(f"{prefix}/{spec.name}", spec.size, spec.location)
+        for task in self.tasks.values():
+            out.add_task(
+                TaskSpec(
+                    name=f"{prefix}/{task.name}",
+                    fn=task.fn,
+                    inputs=tuple(f"{prefix}/{name}" for name in task.inputs),
+                    output=f"{prefix}/{task.output}",
+                    output_size=task.output_size,
+                    compute_seconds=task.compute_seconds,
+                    cores=task.cores,
+                    memory_bytes=task.memory_bytes,
+                )
+            )
+        return out
+
     # ------------------------------------------------------------------
     # Validation
 

@@ -13,15 +13,26 @@ This module quantifies what that knowledge is worth:
 * :func:`validate_packing` - proves a packing never exceeds capacity at
   any instant (density must never come from overcommitting);
 * :func:`spiky_workload` / :func:`density_ratio` - the section-6
-  experiment: staggered spiky fleets pack several times denser.
+  experiment: staggered spiky fleets pack several times denser;
+* :func:`profile_from_graph` - derive a job's declared profile from its
+  :class:`~repro.dist.graph.JobGraph` critical-path schedule, the bridge
+  the admission layer (:mod:`repro.dist.admission`) crosses from the
+  executable job IR into this packing model;
+* :func:`fits_online` / :func:`validate_timeline` - the *online*
+  single-bin variant of the same pointwise check: jobs arrive at
+  arbitrary instants on one shared cluster, and an admission is legal
+  exactly when the projected footprint sum stays within capacity.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Sequence, Tuple
 
 from ..core.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .graph import JobGraph
 
 
 @dataclass(frozen=True)
@@ -84,6 +95,16 @@ class AppProfile:
             clock += phase.seconds
             points.append(clock)
         return points
+
+    def delayed(self, offset: float) -> "AppProfile":
+        """This profile started ``offset`` seconds late: a zero-memory
+        lead-in phase, so online arrivals reuse the co-start machinery
+        (:func:`validate_packing` checks phase breakpoints exactly)."""
+        if offset < 0:
+            raise SchedulingError(f"offset cannot be negative: {offset}")
+        if offset == 0:
+            return self
+        return AppProfile(self.name, (Phase(offset, 0), *self.phases))
 
 
 @dataclass
@@ -232,3 +253,119 @@ def density_ratio(
     validate_packing(peak)
     ratio = peak.bin_count / aware.bin_count if aware.bin_count else 1.0
     return aware, peak, ratio
+
+
+# ----------------------------------------------------------------------
+# Profiles from executable jobs (the admission layer's bridge)
+
+#: Zero-compute tasks still occupy memory for an instant; give their
+#: interval a measurable width so the derived profile stays well-formed.
+MIN_PHASE_SECONDS = 1e-9
+
+
+def profile_from_graph(graph: "JobGraph", name: str = "job") -> AppProfile:
+    """The declared memory footprint a :class:`JobGraph` implies.
+
+    The paper's admission argument (section 6) rests on the platform
+    *knowing* each job's footprint over time before running it; with a
+    declared dataflow that knowledge is derivable, not guessed.  This
+    schedules every task at its critical-path instant (it starts when its
+    last dependency finishes - the infinitely wide, free-data-movement
+    schedule behind :meth:`JobGraph.critical_path_seconds`) and holds
+    ``task.memory_bytes`` for the task's compute time, then flattens the
+    interval sum into a piecewise-constant :class:`AppProfile`.
+
+    This is the *declared* footprint: a real run under contention
+    stretches in time but never grows in instantaneous memory, because
+    the engine's late binding acquires each task's memory only for the
+    compute interval the declaration prices.
+    """
+    intervals: List[Tuple[float, float, int]] = []
+    finish: dict = {}
+    for task in graph.topological_order():
+        start = max(
+            (finish[dep] for dep in graph.dependencies(task)), default=0.0
+        )
+        finish[task.name] = start + task.compute_seconds
+        end = start + max(task.compute_seconds, MIN_PHASE_SECONDS)
+        if task.memory_bytes > 0:
+            intervals.append((start, end, task.memory_bytes))
+    if not intervals:
+        return AppProfile(name, (Phase(MIN_PHASE_SECONDS, 0),))
+    deltas: dict = {}
+    for start, end, mem in intervals:
+        deltas[start] = deltas.get(start, 0) + mem
+        deltas[end] = deltas.get(end, 0) - mem
+    phases: List[Phase] = []
+    level = 0
+    points = sorted(deltas)
+    if points[0] > 0:
+        # Zero-memory work (e.g. memoryless tasks) leads the schedule:
+        # the profile must still place later spikes at their true
+        # critical-path instants, not shifted to t=0.
+        phases.append(Phase(points[0], 0))
+    for left, right in zip(points, points[1:]):
+        level += deltas[left]
+        if phases and phases[-1].bytes == level:
+            phases[-1] = Phase(phases[-1].seconds + (right - left), level)
+        else:
+            phases.append(Phase(right - left, level))
+    while phases and phases[-1].bytes == 0:
+        phases.pop()
+    if not phases:
+        return AppProfile(name, (Phase(MIN_PHASE_SECONDS, 0),))
+    return AppProfile(name, tuple(phases))
+
+
+# ----------------------------------------------------------------------
+# Online single-bin admission (one shared cluster, staggered arrivals)
+
+
+def fits_online(
+    active: Sequence[Tuple[AppProfile, float]],
+    candidate: AppProfile,
+    start: float,
+    capacity_bytes: int,
+) -> bool:
+    """Would admitting ``candidate`` at ``start`` ever exceed capacity?
+
+    ``active`` holds the already-admitted jobs as ``(profile,
+    started_at)`` pairs.  The check is the same pointwise one
+    :func:`footprint_aware_packing` runs per bin, shifted online: every
+    instant where any projected footprint can change, from ``start``
+    onward, must keep the sum within ``capacity_bytes``.  Instants before
+    ``start`` were proven safe when the active jobs were admitted, and
+    admitting the candidate cannot change them.
+    """
+    points = {start + t for t in candidate.breakpoints()}
+    for profile, started_at in active:
+        points.update(started_at + t for t in profile.breakpoints())
+    for t in points:
+        if t < start:
+            continue
+        total = candidate.memory_at(t - start) + sum(
+            profile.memory_at(t - started_at)
+            for profile, started_at in active
+        )
+        if total > capacity_bytes:
+            return False
+    return True
+
+
+def validate_timeline(
+    jobs: Sequence[Tuple[AppProfile, float]], capacity_bytes: int
+) -> None:
+    """Prove an admission history never exceeded capacity at any instant.
+
+    Each ``(profile, started_at)`` becomes a :meth:`AppProfile.delayed`
+    co-start profile, and the whole history is one shared bin - so this
+    is literally :func:`validate_packing` over the online timeline, and
+    raises :class:`SchedulingError` on any violation.
+    """
+    if not jobs:
+        return
+    origin = min(started_at for _, started_at in jobs)
+    shifted = [
+        profile.delayed(started_at - origin) for profile, started_at in jobs
+    ]
+    validate_packing(Packing(capacity_bytes=capacity_bytes, bins=[shifted]))

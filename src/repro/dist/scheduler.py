@@ -57,6 +57,7 @@ class DataflowScheduler:
         locality: bool = True,
         use_hints: bool = False,
         seed: int = 0,
+        outstanding: Optional[Dict[str, int]] = None,
     ):
         self.cluster = cluster
         self.view = view
@@ -67,8 +68,13 @@ class DataflowScheduler:
         if not self._machines:
             raise SchedulingError("cannot schedule on an empty cluster")
         #: Outstanding tasks per machine - the load-feedback signal that
-        #: spreads equal-cost siblings instead of convoying them.
-        self._outstanding: Dict[str, int] = {m: 0 for m in self._machines}
+        #: spreads equal-cost siblings instead of convoying them.  Pass a
+        #: shared dict to let several schedulers (one per concurrent job,
+        #: each with its own possibly-stale view) see one cluster-wide
+        #: load picture, so co-resident jobs spread around each other.
+        self._outstanding: Dict[str, int] = (
+            {m: 0 for m in self._machines} if outstanding is None else outstanding
+        )
 
     # ------------------------------------------------------------------
     # Load feedback

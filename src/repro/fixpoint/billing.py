@@ -22,7 +22,7 @@ pay-for-results eats it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable
 
 from ..core.errors import FixError
@@ -123,27 +123,24 @@ def placement_immunity_ratio(
     """How each model's charge changes when placement goes bad.
 
     Returns (effort_ratio, results_ratio): the pay-for-effort bill scales
-    with the wall-clock blow-up; the pay-for-results bill does not.
+    with the wall-clock blow-up, the pay-for-results bill genuinely does
+    not - and both ratios are *computed* from the two bills, so the
+    immunity claim is measured, never assumed.  A zero/zero charge (a
+    meter with no billable work under a model) ratios to 1.0: the charge
+    did not change; a zero-to-nonzero blow-up is infinite.
     """
     if good_wall <= 0:
         raise BillingError("good placement wall time must be positive")
-    good = bill_effort(
-        InvocationMeter(
-            meter.input_bytes,
-            meter.reserved_memory_bytes,
-            meter.user_cpu_seconds,
-            meter.bytes_mapped,
-            good_wall,
-        )
-    ).total
-    bad = bill_effort(
-        InvocationMeter(
-            meter.input_bytes,
-            meter.reserved_memory_bytes,
-            meter.user_cpu_seconds,
-            meter.bytes_mapped,
-            bad_wall,
-        )
-    ).total
-    results = bill_results(meter).total
-    return (bad / good if good else float("inf"), 1.0 if results >= 0 else 1.0)
+    if bad_wall < 0:
+        raise BillingError("bad placement wall time cannot be negative")
+
+    def ratio(bad: float, good: float) -> float:
+        if good:
+            return bad / good
+        return float("inf") if bad else 1.0
+
+    good_effort = bill_effort(replace(meter, wall_seconds=good_wall)).total
+    bad_effort = bill_effort(replace(meter, wall_seconds=bad_wall)).total
+    good_results = bill_results(replace(meter, wall_seconds=good_wall)).total
+    bad_results = bill_results(replace(meter, wall_seconds=bad_wall)).total
+    return (ratio(bad_effort, good_effort), ratio(bad_results, good_results))

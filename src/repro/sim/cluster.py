@@ -101,6 +101,12 @@ class Cluster:
         """
         return sum(m.cores.capacity for m in self.machines.values())
 
+    @property
+    def total_memory(self) -> int:
+        """RAM bytes cluster-wide - the admission layer's default
+        capacity for its single-bin pointwise footprint check."""
+        return sum(m.memory.capacity for m in self.machines.values())
+
     def machine_names(self) -> List[str]:
         return list(self.machines)
 

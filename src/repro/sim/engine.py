@@ -204,6 +204,37 @@ class Simulator:
         return event.value
 
 
+class Signal:
+    """A re-armable broadcast, the condition variable of the sim world.
+
+    :meth:`wait` hands out the current armed :class:`Event`; :meth:`fire`
+    succeeds it (waking every process waiting on it) and the next
+    :meth:`wait` arms a fresh one.  A fire with nobody waiting is a no-op
+    - there is no memory, exactly like a condition variable - so users
+    must re-check their predicate after waking.  This is what lets many
+    concurrent job processes block on "the world changed" (a job
+    finished, capacity freed) without polling the clock.
+    """
+
+    __slots__ = ("sim", "name", "_event")
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._event: Optional[Event] = None
+
+    def wait(self) -> Event:
+        """The event the next :meth:`fire` will succeed."""
+        if self._event is None or self._event.triggered:
+            self._event = self.sim.event(f"signal:{self.name}")
+        return self._event
+
+    def fire(self, value: Any = None) -> None:
+        """Wake everyone currently waiting (no-op when nobody is)."""
+        if self._event is not None and not self._event.triggered:
+            self._event.succeed(value)
+
+
 def all_of(sim: Simulator, events: Iterable[Event]) -> Event:
     """An event succeeding when every input has succeeded.
 

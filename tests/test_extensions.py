@@ -27,12 +27,14 @@ from repro.core.thunks import (
 )
 from repro.codelets.stdlib import blob_int, int_blob
 from repro.fixpoint.billing import (
+    MAX_DEADLINE_DISCOUNT,
     Bill,
     BillingError,
     InvocationMeter,
     bill_effort,
     bill_results,
     job_bill,
+    placement_immunity_ratio,
 )
 from repro.fixpoint.runtime import Fixpoint
 from repro.flatware.asyncify import compile_io_program, run_io_program
@@ -196,6 +198,58 @@ class TestBilling:
     def test_negative_meter_rejected(self):
         with pytest.raises(BillingError):
             InvocationMeter(-1, 0, 0, 0, 0)
+
+    def test_placement_immunity_ratio_is_computed(self):
+        """The results ratio is measured from the two bills (it used to
+        be hardcoded 1.0): effort scales with the blow-up, results is
+        genuinely wall-free, so the computed ratio comes out 1.0."""
+        effort_ratio, results_ratio = placement_immunity_ratio(
+            good_wall=0.6, bad_wall=6.0, meter=self.METER
+        )
+        assert effort_ratio == pytest.approx(10.0)
+        assert results_ratio == pytest.approx(1.0)
+
+    def test_immunity_ratio_zero_compute_meter(self):
+        """A meter with no billable work ratios 1.0/1.0 (a 0 -> 0 charge
+        did not change), instead of dividing by zero."""
+        nothing = InvocationMeter(0, 0, 0.0, 0, 0.0)
+        effort_ratio, results_ratio = placement_immunity_ratio(
+            good_wall=1.0, bad_wall=10.0, meter=nothing
+        )
+        assert effort_ratio == 1.0
+        assert results_ratio == 1.0
+        assert bill_results(nothing).total == 0.0
+        assert bill_effort(nothing).total == 0.0
+
+    def test_immunity_ratio_rejects_bad_walls(self):
+        with pytest.raises(BillingError):
+            placement_immunity_ratio(0.0, 1.0, self.METER)
+        with pytest.raises(BillingError):
+            placement_immunity_ratio(1.0, -1.0, self.METER)
+
+    def test_discount_clamped_exactly_at_cap(self):
+        """Past the cap, the discount is exactly MAX_DEADLINE_DISCOUNT of
+        the pre-discount charge - not a fraction more."""
+        capped = InvocationMeter(
+            self.METER.input_bytes,
+            self.METER.reserved_memory_bytes,
+            self.METER.user_cpu_seconds,
+            self.METER.bytes_mapped,
+            self.METER.wall_seconds,
+            deadline_slack_hours=1_000.0,
+        )
+        bill = bill_results(capped)
+        assert bill.discount == pytest.approx(
+            (bill.upfront + bill.runtime) * MAX_DEADLINE_DISCOUNT
+        )
+        assert bill.total == pytest.approx(
+            (bill.upfront + bill.runtime) * (1 - MAX_DEADLINE_DISCOUNT)
+        )
+
+    def test_bill_total_floors_at_zero(self):
+        """A discount larger than the charge never produces a negative
+        bill - the provider eats it, the customer owes nothing."""
+        assert Bill(upfront=0.1, runtime=0.2, discount=5.0).total == 0.0
 
 
 class TestAttestation:

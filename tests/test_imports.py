@@ -54,6 +54,7 @@ EXPECTED_MODULES = [
     "repro.core.storage",
     "repro.core.thunks",
     "repro.dist",
+    "repro.dist.admission",
     "repro.dist.costmodel",
     "repro.dist.engine",
     "repro.dist.graph",
@@ -120,6 +121,7 @@ class TestDistExports:
         names the package exposes."""
         dist = importlib.import_module("repro.dist")
         submodules = {
+            "admission",
             "costmodel",
             "graph",
             "objectview",

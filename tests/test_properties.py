@@ -19,6 +19,14 @@ from repro.core.thunks import (
     make_selection_range,
     strict,
 )
+from repro.dist.multitenancy import (
+    AppProfile,
+    Phase,
+    density_ratio,
+    footprint_aware_packing,
+    peak_reservation_packing,
+    validate_packing,
+)
 from repro.sim.engine import Simulator, all_of
 from repro.sim.resources import Resource
 from repro.sim.stats import CpuAccountant, report
@@ -181,6 +189,79 @@ class TestWireFuzz:
                     Repository_ = Repository()
                     # decode already verified payload-vs-handle.
                     assert handle.pack()
+
+
+# ----------------------------------------------------------------------
+# Multitenancy packing invariants (paper section 6)
+
+PACK_GB = 1 << 30
+PACK_CAPACITY = 8 * PACK_GB
+
+#: Random piecewise profiles: 1-5 phases of 0.25-4 s at 0-8 GB each,
+#: clamped so every app individually fits the 8 GB machine.
+profile_lists = st.lists(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.25, max_value=4.0),  # phase seconds
+            st.integers(min_value=0, max_value=8),  # phase GB
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def _apps_from_specs(specs):
+    return [
+        AppProfile(
+            f"app{i}",
+            tuple(Phase(seconds, gb * PACK_GB) for seconds, gb in phases),
+        )
+        for i, phases in enumerate(specs)
+    ]
+
+
+class TestPackingInvariants:
+    """Profile knowledge can only help, and never by overcommitting."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(profile_lists)
+    def test_footprint_never_beats_validate_packing(self, specs):
+        """Whatever density footprint awareness finds, every bin stays
+        within capacity at every instant - density never comes from
+        overcommitting."""
+        apps = _apps_from_specs(specs)
+        validate_packing(footprint_aware_packing(apps, PACK_CAPACITY))
+
+    @settings(max_examples=60, deadline=None)
+    @given(profile_lists)
+    def test_footprint_never_uses_more_bins_than_peak(self, specs):
+        apps = _apps_from_specs(specs)
+        aware = footprint_aware_packing(apps, PACK_CAPACITY)
+        peak = peak_reservation_packing(apps, PACK_CAPACITY)
+        assert aware.bin_count <= peak.bin_count
+
+    @settings(max_examples=60, deadline=None)
+    @given(profile_lists)
+    def test_density_ratio_at_least_one(self, specs):
+        apps = _apps_from_specs(specs)
+        _aware, _peak, ratio = density_ratio(apps, PACK_CAPACITY)
+        assert ratio >= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(profile_lists)
+    def test_every_app_packed_exactly_once(self, specs):
+        apps = _apps_from_specs(specs)
+        for packing in (
+            footprint_aware_packing(apps, PACK_CAPACITY),
+            peak_reservation_packing(apps, PACK_CAPACITY),
+        ):
+            packed = sorted(
+                app.name for members in packing.bins for app in members
+            )
+            assert packed == sorted(app.name for app in apps)
 
 
 # ----------------------------------------------------------------------
