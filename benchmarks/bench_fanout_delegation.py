@@ -1,0 +1,113 @@
+"""Fan-out delegation: overlapping in-flight work beats serial RPC.
+
+The placement policy breaks equal-believed-bytes ties by in-flight
+load, but with blocking delegation that signal was provably inert:
+``outstanding`` rose and fell inside one call, so every quote saw an
+idle cluster.  Non-blocking delegation gives it teeth.  Two shapes, on
+the *executing* runtime (real wire bytes, real threads):
+
+* **spread** - N equal-priced delegations scatter across both peers
+  (the load tiebreak firing), where the serial driver piles every one
+  onto the name-tie winner because nothing is ever in flight at quote
+  time;
+* **overlap** - with per-direction channel latency, fan-out wall time
+  beats serial delegation by roughly the concurrency factor (the
+  serverless data-movement win: wire time overlapped, not serialized).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.codelets.stdlib import blob_int, int_blob
+from repro.core.thunks import make_application
+from repro.fixpoint.net import FixpointNode
+
+LATENCY = 0.03  # seconds, per direction
+JOBS = 8
+
+FAT_INC_SOURCE = (
+    '"""'
+    + "p" * 600
+    + '"""\n'
+    "def _fix_apply(fix, input):\n"
+    "    entries = fix.read_tree(input)\n"
+    "    n = int.from_bytes(fix.read_blob(entries[2]), 'little')\n"
+    "    return fix.create_blob((n + 1).to_bytes(8, 'little'))\n"
+)
+
+
+def build_cluster():
+    """A hub and two peers with identical believed bytes for the fat
+    codelet: every placement between them is a genuine tie."""
+    hub = FixpointNode("hub")
+    peers = [FixpointNode("peer-a"), FixpointNode("peer-b")]
+    fn = None
+    for peer in peers:
+        fn = peer.runtime.compile(FAT_INC_SOURCE, "fat-inc")
+    for peer in peers:
+        hub.connect(peer).latency = LATENCY
+    return hub, peers, fn
+
+
+def encodes_for(hub, fn, count):
+    return [
+        make_application(
+            hub.repo, fn, [hub.repo.put_blob(int_blob(n))]
+        ).wrap_strict()
+        for n in range(count)
+    ]
+
+
+def run_serial():
+    hub, peers, fn = build_cluster()
+    encodes = encodes_for(hub, fn, JOBS)
+    start = time.perf_counter()
+    results = [hub.delegate_best(encode) for encode in encodes]
+    wall = time.perf_counter() - start
+    return wall, hub, peers, results
+
+
+def run_fanout():
+    hub, peers, fn = build_cluster()
+    encodes = encodes_for(hub, fn, JOBS)
+    start = time.perf_counter()
+    results = [future.result(30) for future in hub.scatter(encodes)]
+    wall = time.perf_counter() - start
+    return wall, hub, peers, results
+
+
+def test_fanout_spreads_and_beats_serial(benchmark, run_once):
+    def experiment():
+        return run_serial(), run_fanout()
+
+    serial, fanout = run_once(benchmark, experiment)
+    serial_wall, serial_hub, serial_peers, serial_results = serial
+    fanout_wall, fanout_hub, fanout_peers, fanout_results = fanout
+
+    for n, result in enumerate(fanout_results):
+        assert blob_int(fanout_hub.repo.get_blob(result).data) == n + 1
+    for n, result in enumerate(serial_results):
+        assert blob_int(serial_hub.repo.get_blob(result).data) == n + 1
+
+    serial_served = [peer.delegations_served for peer in serial_peers]
+    fanout_served = [peer.delegations_served for peer in fanout_peers]
+    speedup = serial_wall / fanout_wall
+    print(
+        f"serial  delegation: {serial_wall * 1e3:7.1f} ms, "
+        f"served {serial_served}\n"
+        f"fan-out delegation: {fanout_wall * 1e3:7.1f} ms, "
+        f"served {fanout_served}  ({speedup:.1f}x)"
+    )
+
+    # Blocking delegation never sees load at quote time: every one of
+    # the equal-priced jobs lands on the name-tie winner.
+    assert serial_served == [JOBS, 0]
+    # Non-blocking delegation keeps outstanding live between dispatch
+    # and reply: the tiebreak fires and the batch spreads evenly.
+    assert fanout_served == [JOBS // 2, JOBS // 2]
+    # And the wall-clock point of the refactor: in-flight wire time
+    # overlaps instead of serializing.
+    assert fanout_wall < serial_wall / 2, (
+        f"fan-out {fanout_wall:.3f}s vs serial {serial_wall:.3f}s"
+    )

@@ -35,6 +35,10 @@ setup(
             "pytest>=7",
             "hypothesis>=6",
             "pytest-benchmark>=4",
+            # Kills (not just dumps) a deadlocked threaded-delegation
+            # test; CI passes --timeout so a hang fails fast with a
+            # traceback instead of stalling the job.
+            "pytest-timeout>=2",
         ],
     },
     classifiers=[

@@ -75,6 +75,13 @@ def price_moves(
     O(needs + believed replicas + candidates) - not
     O(candidates x needs), which is what made fig. 10's 1,987-input
     link task a scheduler hot spot.
+
+    Concurrency contract: this function is pure but iterates whatever
+    ``locations`` returns, so the *caller* must keep those collections
+    stable for the duration of the pass.  Belief stores that mutate on
+    other threads (the executing runtime's async delegation absorbs
+    replies concurrently) satisfy this by holding their own lock around
+    the whole call - see :meth:`repro.dist.objectview.ObjectView.price_moves`.
     """
     present = dict.fromkeys(candidates, 0)
     total = 0

@@ -23,10 +23,18 @@ M hold" is one lookup and :meth:`bytes_missing_many` prices every
 machine in a single pass over the inputs via
 :func:`repro.dist.costmodel.price_moves` - the fig. 10 link task
 (1,987 inputs) no longer pays O(machines x inputs) per placement.
+
+The view is internally locked: the executing runtime's asynchronous
+delegation (:mod:`repro.fixpoint.net`) absorbs replies on serving
+threads, so :meth:`learn`/:meth:`forget` race with :meth:`price_moves`
+on the dispatching thread.  Every public method holds the view's RLock,
+which in particular keeps the whole one-pass pricing atomic with
+respect to concurrent observations.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Optional, Set, Tuple
 
 from . import costmodel
@@ -42,6 +50,9 @@ class ObjectView:
 
     def __init__(self, node: str):
         self.node = node
+        #: Reentrant so :meth:`price_moves` can hold the lock across the
+        #: whole pricing pass while its locations callable re-enters.
+        self._lock = threading.RLock()
         self._locations: Dict[Hashable, Set[str]] = {}
         #: Inverted index, maintained by every observation: machine ->
         #: names believed held there.
@@ -61,35 +72,62 @@ class ObjectView:
         The single write path: the forward map, the holdings index, and
         the size index advance together, so they can never disagree.
         """
-        self._locations.setdefault(name, set()).add(location)
-        self._holdings.setdefault(location, set()).add(name)
-        if size is not None:
-            self._sizes[name] = size
+        with self._lock:
+            self._locations.setdefault(name, set()).add(location)
+            self._holdings.setdefault(location, set()).add(name)
+            if size is not None:
+                self._sizes[name] = size
+
+    def forget(self, name: Hashable, location: str) -> None:
+        """Retract the belief that ``location`` holds ``name``.
+
+        The rollback path for optimistic observations: a delegating node
+        advances its view when it *ships* data, and must retract exactly
+        that advance when the delegation dies before the peer confirms
+        receipt.  Sizes are kept - size knowledge is per-object, not
+        per-replica, and stays true even when the location belief was
+        wrong.  Forgetting a belief that was never held is a no-op.
+        """
+        with self._lock:
+            locations = self._locations.get(name)
+            if locations is not None:
+                locations.discard(location)
+                if not locations:
+                    del self._locations[name]
+            held = self._holdings.get(location)
+            if held is not None:
+                held.discard(name)
 
     def where(self, name: Hashable) -> Set[str]:
         """Believed replica locations (empty set when unknown)."""
-        return set(self._locations.get(name, ()))
+        with self._lock:
+            return set(self._locations.get(name, ()))
 
     def knows(self, name: Hashable, location: str) -> bool:
-        return name in self._holdings.get(location, _NOTHING)
+        with self._lock:
+            return name in self._holdings.get(location, _NOTHING)
 
     def holdings(self, location: str) -> Set[Hashable]:
         """Everything ``location`` is believed to hold (a copy)."""
-        return set(self._holdings.get(location, ()))
+        with self._lock:
+            return set(self._holdings.get(location, ()))
 
     def believed_size(self, name: Hashable, default: int = 0) -> int:
         """The last observed size of ``name`` (``default`` when unseen)."""
-        return self._sizes.get(name, default)
+        with self._lock:
+            return self._sizes.get(name, default)
 
     def bytes_held(self, location: str) -> int:
         """Believed bytes resident at ``location`` (the size index)."""
-        return sum(
-            self._sizes.get(name, 0)
-            for name in self._holdings.get(location, _NOTHING)
-        )
+        with self._lock:
+            return sum(
+                self._sizes.get(name, 0)
+                for name in self._holdings.get(location, _NOTHING)
+            )
 
     def __len__(self) -> int:
-        return len(self._locations)
+        with self._lock:
+            return len(self._locations)
 
     # ------------------------------------------------------------------
     # Synchronisation
@@ -118,10 +156,16 @@ class ObjectView:
         """
         self.refresh_local(cluster)
         other.refresh_local(cluster)
-        mine = {name: set(locs) for name, locs in self._locations.items()}
-        theirs = {name: set(locs) for name, locs in other._locations.items()}
-        my_sizes = dict(self._sizes)
-        their_sizes = dict(other._sizes)
+        # Snapshot each side under its own lock, never holding both at
+        # once - concurrent exchanges in either order cannot deadlock.
+        with self._lock:
+            mine = {name: set(locs) for name, locs in self._locations.items()}
+            my_sizes = dict(self._sizes)
+        with other._lock:
+            theirs = {
+                name: set(locs) for name, locs in other._locations.items()
+            }
+            their_sizes = dict(other._sizes)
         for name, locs in theirs.items():
             size = their_sizes.get(name)
             for location in locs:
@@ -143,10 +187,13 @@ class ObjectView:
         beliefs, so a stale view may price a machine that actually holds
         a fresh replica as if the data still had to travel.
         """
-        held = self._holdings.get(machine, _NOTHING)
-        return sum(
-            cluster.object(name).size for name in names if name not in held
-        )
+        with self._lock:
+            held = self._holdings.get(machine, _NOTHING)
+            return sum(
+                cluster.object(name).size
+                for name in names
+                if name not in held
+            )
 
     def bytes_missing_many(
         self,
@@ -166,7 +213,15 @@ class ObjectView:
         candidates: Iterable[str],
     ) -> Dict[str, int]:
         """Cluster-free pricing over ``(name, size)`` pairs - the path
-        the executing runtime uses, where sizes come from handles."""
-        return costmodel.price_moves(
-            needs, lambda name: self._locations.get(name, _NOTHING), candidates
-        )
+        the executing runtime uses, where sizes come from handles.
+
+        The lock is held across the whole pass, so concurrent
+        :meth:`learn`/:meth:`forget` calls (reply absorption on serving
+        threads) see an atomic pricing: no belief changes mid-quote.
+        """
+        with self._lock:
+            return costmodel.price_moves(
+                needs,
+                lambda name: self._locations.get(name, _NOTHING),
+                candidates,
+            )

@@ -7,13 +7,20 @@ direct-jump invocation with no processes or containers on the hot path.
 
 from .billing import Bill, InvocationMeter, bill_effort, bill_results, job_bill
 from .jobs import Job, JobQueue
-from .net import Channel, FixpointNode, NetworkError
+from .net import (
+    Channel,
+    Delegation,
+    FixpointNode,
+    NetworkError,
+    RemoteEvalError,
+)
 from .runtime import Fixpoint
 from .tracing import InvocationRecord, Stopwatch, Trace
 
 __all__ = [
     "Bill",
     "Channel",
+    "Delegation",
     "Fixpoint",
     "FixpointNode",
     "InvocationMeter",
@@ -21,6 +28,7 @@ __all__ = [
     "Job",
     "JobQueue",
     "NetworkError",
+    "RemoteEvalError",
     "Stopwatch",
     "Trace",
     "bill_effort",

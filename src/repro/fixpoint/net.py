@@ -7,12 +7,29 @@ sending Fix values in the packed wire format (paper section 4.2.1):
 
 * on connect, nodes exchange inventories - content keys *and per-handle
   wire sizes* - into a passive :class:`~repro.dist.objectview.ObjectView`;
-* ``delegate(encode)`` ships the Encode's minimum repository as one
-  bundle (handles are self-describing - no scheduler round trip, no
+* ``delegate_async(encode)`` ships the Encode's minimum repository as
+  one bundle (handles are self-describing - no scheduler round trip, no
   extra metadata), tagged with the sender's identity so the remote node
-  can filter its reply through its view of the caller;
-* results and their data are absorbed into the caller's repository, and
-  both views advance - on send *and* on receive.
+  can filter its reply through its view of the caller, and returns a
+  :class:`Delegation` future immediately;
+* the peer serves the request on its own worker pool
+  (:meth:`~repro.fixpoint.runtime.Fixpoint.spawn`), and the reply - or
+  an explicit error frame, when peer-side evaluation fails - crosses the
+  wire back and is absorbed into the caller's repository on the serving
+  thread; both views advance - on send *and* on receive.
+
+Delegation is therefore **non-blocking end to end**: the per-peer
+``outstanding`` count is raised at dispatch and lowered only once the
+reply has been absorbed, so while work is in flight every
+:meth:`FixpointNode.quote_best` sees live load.  That is what lets the
+cost model's tiebreak (believed bytes first, then load, then name)
+actually spread equal-priced work across peers - the property the
+paper's placement policy presumes, and the same overlap of in-flight
+remote work that Nexus-style I/O offloading wins come from.  Fan-out
+helpers build on it: :meth:`FixpointNode.scatter` quotes and dispatches
+a batch without waiting, :meth:`FixpointNode.eval_many` overlaps remote
+delegations with local evaluation and gathers results in order.  The
+blocking :meth:`FixpointNode.delegate` is now just dispatch-plus-wait.
 
 Placement (:meth:`FixpointNode.delegate_best` /
 :meth:`FixpointNode.eval_anywhere`) resolves through the same
@@ -25,7 +42,13 @@ footprint prices at zero, and no remote quote can beat zero).
 
 Channels are in-memory here (the transport is pluggable), but every byte
 crossing them really is serialized and reparsed - the wire format is
-load-bearing, not decorative.
+load-bearing, not decorative - and the link is **wire-serialized**:
+frames carry per-direction sequence numbers and are decoded in send
+order, like a real stream transport.  That ordering is what makes the
+dispatcher's optimistic "already on the wire" filtering sound under
+concurrency.  A channel may carry a per-direction ``latency``; it is
+paid on the *serving* thread, never the dispatching one, so in-flight
+delegations overlap their wire time (pipelined, still ordered).
 
 Request frame::
 
@@ -33,18 +56,30 @@ Request frame::
 
 Response frame::
 
-    [32-byte result handle][bundle]
+    [u8 status=0][32-byte result handle][bundle]            (ok)
+    [u8 status=1][u16 type length][type utf-8]
+                 [u32 message length][message utf-8]        (error)
 
-The response bundle carries only the result data the server does *not*
-believe the caller already holds - echoing back what the caller just
-shipped would double the round trip for nothing.
+The error frame is what carries a peer-side evaluation failure across
+the wire: the serve runs on the peer's thread, so raising through
+Python would strand the exception there - instead the caller's future
+fails with :class:`RemoteEvalError`, and the caller's optimistic view
+advance for the shipped data is rolled back
+(:meth:`~repro.dist.objectview.ObjectView.forget`), so the next attempt
+re-ships instead of stranding on a false belief.
+
+The ok-response bundle carries only the result data the server does
+*not* believe the caller already holds - echoing back what the caller
+just shipped would double the round trip for nothing.
 """
 
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
-from typing import Dict, List
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import FixError, MissingObjectError
 from ..core.handle import HANDLE_BYTES, Handle
@@ -53,36 +88,231 @@ from ..core.serialize import decode_bundle, encode_bundle
 from ..core.storage import Repository
 from ..dist.costmodel import Quote, choose
 from ..dist.objectview import ObjectView
+from .jobs import Job
 from .runtime import Fixpoint
 
 _SENDER_LEN = struct.Struct("<H")
+_ERR_TYPE_LEN = struct.Struct("<H")
+_ERR_MSG_LEN = struct.Struct("<I")
+
+_STATUS_OK = b"\x00"
+_STATUS_ERR = b"\x01"
 
 
 class NetworkError(FixError):
     """Delegation failures (unknown peer, unresolvable dependencies)."""
 
 
+class RemoteEvalError(NetworkError):
+    """A peer-side evaluation failure, carried back as an error frame.
+
+    The peer serves requests on its own threads, so its exception cannot
+    raise through the caller's Python stack; it is serialized (exception
+    type name plus message) and re-raised here when the caller reads the
+    delegation's result.
+    """
+
+    def __init__(self, peer: str, error_type: str, message: str):
+        super().__init__(
+            f"delegation to {peer!r} failed remotely with "
+            f"{error_type}: {message}"
+        )
+        self.peer = peer
+        self.error_type = error_type
+        self.remote_message = message
+
+
+def _pack_error(exc: BaseException) -> bytes:
+    """Serialize an exception into the error-response frame body."""
+    error_type = type(exc).__name__.encode("utf-8")
+    message = str(exc).encode("utf-8")
+    return (
+        _ERR_TYPE_LEN.pack(len(error_type))
+        + error_type
+        + _ERR_MSG_LEN.pack(len(message))
+        + message
+    )
+
+
+def _unpack_error(body: bytes) -> Tuple[str, str]:
+    """Parse an error-response frame body into (type name, message)."""
+    (type_len,) = _ERR_TYPE_LEN.unpack_from(body, 0)
+    offset = _ERR_TYPE_LEN.size
+    error_type = body[offset : offset + type_len].decode("utf-8")
+    offset += type_len
+    (msg_len,) = _ERR_MSG_LEN.unpack_from(body, offset)
+    offset += _ERR_MSG_LEN.size
+    message = body[offset : offset + msg_len].decode("utf-8")
+    return error_type, message
+
+
+class _Arrival:
+    """The wire-order delivery window for one frame.
+
+    Entering waits until every earlier frame on the same direction has
+    been delivered (decoded by the receiver); exiting marks this frame
+    delivered and wakes successors.  :meth:`release` is idempotent, so
+    a failure path that never entered the window can still free it
+    without double-advancing the sequence.
+    """
+
+    __slots__ = ("channel", "direction", "seq")
+
+    def __init__(self, channel: "Channel", direction: str, seq: int):
+        self.channel = channel
+        self.direction = direction
+        self.seq = seq
+
+    def __enter__(self) -> "_Arrival":
+        self.channel._await_turn(self.direction, self.seq)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def release(self) -> None:
+        self.channel._release(self.direction, self.seq)
+
+
 @dataclass
 class Channel:
-    """A byte-counting in-memory link between two nodes."""
+    """A byte-counting, **wire-serialized** in-memory link.
+
+    Frames on one direction carry sequence numbers assigned at
+    :meth:`send` and must be *delivered* (decoded by the receiver) in
+    that order - :meth:`arrival` hands out the delivery window.  This
+    mirrors a real ordered transport: two concurrent delegations may
+    evaluate in any order, but the second request's bundle is never
+    parsed before the first's, so a dispatcher that skipped re-shipping
+    data "already on the wire" can rely on it having landed.
+
+    ``latency`` (seconds, per direction) is paid via :meth:`transit` on
+    the serving thread *before* the delivery window, so in-flight
+    frames overlap their wire time (pipelining) while still landing in
+    order.
+    """
 
     a: "FixpointNode"
     b: "FixpointNode"
     bytes_ab: int = 0
     bytes_ba: int = 0
+    latency: float = 0.0
+    _cond: threading.Condition = field(
+        default_factory=threading.Condition, repr=False, compare=False
+    )
+    _sent: Dict[str, int] = field(
+        default_factory=lambda: {"ab": 0, "ba": 0}, repr=False, compare=False
+    )
+    _delivered: Dict[str, int] = field(
+        default_factory=lambda: {"ab": 0, "ba": 0}, repr=False, compare=False
+    )
+    #: Frames released ahead of their turn (an abandoned dispatch, a
+    #: serve that died before its window); the delivery frontier only
+    #: advances over *contiguous* completions, so an early release can
+    #: never unblock frames that are still waiting on live predecessors.
+    _early: Dict[str, set] = field(
+        default_factory=lambda: {"ab": set(), "ba": set()},
+        repr=False,
+        compare=False,
+    )
 
-    def send(self, sender: "FixpointNode", payload: bytes) -> bytes:
+    def _direction(self, sender: "FixpointNode") -> str:
         if sender is self.a:
-            self.bytes_ab += len(payload)
-        elif sender is self.b:
-            self.bytes_ba += len(payload)
-        else:
-            raise NetworkError("sender is not an endpoint of this channel")
-        return bytes(payload)  # the wire copy
+            return "ab"
+        if sender is self.b:
+            return "ba"
+        raise NetworkError("sender is not an endpoint of this channel")
+
+    def send(self, sender: "FixpointNode", payload: bytes) -> Tuple[bytes, int]:
+        """Put a frame on the wire; returns (wire copy, sequence)."""
+        with self._cond:
+            direction = self._direction(sender)
+            if direction == "ab":
+                self.bytes_ab += len(payload)
+            else:
+                self.bytes_ba += len(payload)
+            seq = self._sent[direction]
+            self._sent[direction] += 1
+        return bytes(payload), seq  # the wire copy
+
+    def arrival(self, sender: "FixpointNode", seq: int) -> _Arrival:
+        """The delivery window for frame ``seq`` sent by ``sender``."""
+        return _Arrival(self, self._direction(sender), seq)
+
+    def _await_turn(self, direction: str, seq: int) -> None:
+        with self._cond:
+            while self._delivered[direction] < seq:
+                self._cond.wait()
+
+    def _release(self, direction: str, seq: int) -> None:
+        with self._cond:
+            if seq < self._delivered[direction]:
+                return  # already delivered (idempotent)
+            early = self._early[direction]
+            early.add(seq)
+            advanced = False
+            while self._delivered[direction] in early:
+                early.remove(self._delivered[direction])
+                self._delivered[direction] += 1
+                advanced = True
+            if advanced:
+                self._cond.notify_all()
+
+    def transit(self) -> None:
+        """One direction's wire time.  Called off the dispatching thread."""
+        if self.latency > 0:
+            time.sleep(self.latency)
 
     @property
     def total_bytes(self) -> int:
-        return self.bytes_ab + self.bytes_ba
+        with self._cond:
+            return self.bytes_ab + self.bytes_ba
+
+
+class Delegation:
+    """One in-flight asynchronous delegation (a future).
+
+    Created by :meth:`FixpointNode.delegate_async`.  Resolved on the
+    serving thread only *after* the reply has been absorbed into the
+    caller's repository - when :meth:`result` returns, the handle and
+    its data are local.  A peer-side evaluation failure resolves the
+    future with :class:`RemoteEvalError`; a transport failure with
+    :class:`NetworkError`.
+
+    Completion signalling is a :class:`~repro.fixpoint.jobs.Job` - the
+    same primitive the worker pool uses - so there is exactly one
+    result/error/event implementation in the package; this class adds
+    only the delegation identity and the timeout-to-:class:`NetworkError`
+    translation.
+    """
+
+    __slots__ = ("peer", "encode", "_job")
+
+    def __init__(self, peer: str, encode: Handle):
+        self.peer = peer
+        self.encode = encode
+        self._job = Job(encode)
+
+    @property
+    def done(self) -> bool:
+        return self._job.done
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._job.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Handle:
+        """Block until resolved; return (or raise) the outcome."""
+        if not self._job.wait(timeout):
+            raise NetworkError(
+                f"delegation to {self.peer!r} timed out after {timeout}s"
+            )
+        return self._job.value()
+
+    def _complete(self, result: Handle) -> None:
+        self._job.complete(result)
+
+    def _fail(self, error: BaseException) -> None:
+        self._job.fail(error)
 
 
 class FixpointNode:
@@ -97,14 +327,28 @@ class FixpointNode:
         #: sizes come from the handles seen in inventory/wire traffic.
         self.view = ObjectView(name)
         #: In-flight delegations per peer - the load signal the cost
-        #: model spreads equal-price candidates with.
+        #: model spreads equal-price candidates with.  Raised at
+        #: dispatch, lowered when the reply has been absorbed, so it is
+        #: *live* while work is in flight.
         self.outstanding: Dict[str, int] = {}
         self.delegations_served = 0
         self.delegations_sent = 0
+        #: Serializes dispatch (footprint, send, optimistic view
+        #: advance, outstanding bump) against reply bookkeeping.
+        self._lock = threading.RLock()
 
     @property
     def repo(self) -> Repository:
         return self.runtime.repo
+
+    def close(self) -> None:
+        self.runtime.close()
+
+    def __enter__(self) -> "FixpointNode":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Topology
@@ -133,83 +377,246 @@ class FixpointNode:
     # ------------------------------------------------------------------
     # Delegation
 
-    def delegate(self, peer_name: str, encode: Handle) -> Handle:
-        """Evaluate ``encode`` on a peer; returns the (absorbed) result.
+    def delegate_async(self, peer_name: str, encode: Handle) -> Delegation:
+        """Dispatch ``encode`` to a peer; returns a :class:`Delegation`.
 
         Ships only data the peer is not known to hold - the view keeps
         repeated delegations cheap in both directions (the reply is
-        filtered symmetrically by the server; see :meth:`_serve`).
+        filtered symmetrically by the server; see :meth:`_serve`).  The
+        view advance for shipped data is *optimistic*: recorded at
+        dispatch so overlapping delegations do not re-ship the same
+        bytes, and rolled back (:meth:`ObjectView.forget`) if the
+        delegation fails before the peer confirms the result.
+
+        ``outstanding[peer]`` is raised before this method returns and
+        lowered when the reply is absorbed, so quotes taken while the
+        work is in flight see the load.
+        """
+        return self._dispatch(peer_name, encode, None)
+
+    def _dispatch(
+        self, peer_name: str, encode: Handle, fp: Optional[Footprint]
+    ) -> Delegation:
+        """Build, send, and hand off one request frame.
+
+        ``fp`` lets callers that already computed the footprint for a
+        placement quote (:meth:`scatter`, :meth:`eval_many`) skip the
+        second walk.  The optimistic ``view.learn`` for shipped data is
+        safe against concurrent delegations because the channel is
+        wire-serialized: a later request's bundle is never parsed by
+        the peer before this one's has landed in its repository.
         """
         channel = self.peers.get(peer_name)
         if channel is None:
             raise NetworkError(f"{self.name}: no peer named {peer_name!r}")
         peer = self._peer(peer_name)
-        fp = transitive_footprint(self.repo, encode)
-        to_ship: List[Handle] = []
-        for handle in self.repo.handles():
-            key = handle.content_key()
-            if key in fp.data and not self.view.knows(key, peer_name):
-                to_ship.append(handle)
-        sender = self.name.encode("utf-8")
-        request = (
-            _SENDER_LEN.pack(len(sender))
-            + sender
-            + encode.pack()
-            + encode_bundle(self.repo, to_ship)
-        )
-        wire = channel.send(self, request)
-        self.delegations_sent += 1
-        # The view advances passively on every send (paper 4.2.2).
-        for handle in to_ship:
-            self.view.learn(handle.content_key(), peer_name, handle.byte_size())
-        self.outstanding[peer_name] = self.outstanding.get(peer_name, 0) + 1
+        future = Delegation(peer_name, encode)
+        with self._lock:
+            if fp is None:
+                fp = transitive_footprint(self.repo, encode)
+            to_ship: List[Handle] = []
+            for handle in self.repo.handles():
+                key = handle.content_key()
+                if key in fp.data and not self.view.knows(key, peer_name):
+                    to_ship.append(handle)
+            sender = self.name.encode("utf-8")
+            request = (
+                _SENDER_LEN.pack(len(sender))
+                + sender
+                + encode.pack()
+                + encode_bundle(self.repo, to_ship)
+            )
+            wire, request_seq = channel.send(self, request)
+            self.delegations_sent += 1
+            shipped: List[bytes] = []
+            for handle in to_ship:
+                key = handle.content_key()
+                self.view.learn(key, peer_name, handle.byte_size())
+                shipped.append(key)
+            self.outstanding[peer_name] = (
+                self.outstanding.get(peer_name, 0) + 1
+            )
+            # Spawn *inside* the dispatch lock: the serve task's queue
+            # position must match its wire sequence number, or a
+            # bounded peer pool can pick up frame k+1 first and wedge a
+            # worker in the delivery window waiting for frame k that is
+            # queued behind it.
+            try:
+                peer.runtime.spawn(
+                    lambda: self._finish_delegation(
+                        future, channel, peer, peer_name, encode,
+                        wire, request_seq, shipped,
+                    )
+                )
+            except BaseException:
+                # No serving thread will ever run: undo every side
+                # effect of the dispatch (belief, load, and the frame's
+                # slot in the delivery order - an unreleased sequence
+                # number would wedge the direction forever).
+                for key in shipped:
+                    self.view.forget(key, peer_name)
+                self.outstanding[peer_name] -= 1
+                channel.arrival(self, request_seq).release()
+                raise
+        return future
+
+    def delegate(self, peer_name: str, encode: Handle) -> Handle:
+        """Evaluate ``encode`` on a peer; returns the (absorbed) result.
+
+        Blocking convenience over :meth:`delegate_async` - the load
+        signal stays live for the whole round trip either way.
+        """
+        return self.delegate_async(peer_name, encode).result()
+
+    def _finish_delegation(
+        self,
+        future: Delegation,
+        channel: Channel,
+        peer: "FixpointNode",
+        peer_name: str,
+        encode: Handle,
+        wire: bytes,
+        request_seq: int,
+        shipped: Sequence[bytes],
+    ) -> None:
+        """Serving-thread half of one delegation: deliver, serve, absorb.
+
+        Runs on the *peer's* pool (or fallback serve thread) so the
+        dispatcher never blocks.  Any failure - transport or remote
+        evaluation - rolls back the optimistic view advance for the
+        shipped keys and fails the future.  ``outstanding`` drops
+        *before* the future resolves, so a waiter that quotes the
+        moment ``result()`` returns never sees phantom load from its
+        own finished delegation.
+        """
+        request_arrival = channel.arrival(self, request_seq)
         try:
-            response = peer._serve(wire)
+            channel.transit()
+            wire_back, reply_seq = peer._serve(wire, arrival=request_arrival)
+            channel.transit()
+            with channel.arrival(peer, reply_seq):
+                result = self._absorb_reply(peer_name, encode, wire_back)
+        except BaseException as exc:  # noqa: BLE001 - resolves the future
+            for key in shipped:
+                self.view.forget(key, peer_name)
+            if not isinstance(exc, FixError):
+                exc = NetworkError(
+                    f"{self.name}: delegation to {peer_name!r} died in "
+                    f"transit: {exc}"
+                )
+            self._settle(peer_name)
+            future._fail(exc)
+        else:
+            self._settle(peer_name)
+            future._complete(result)
         finally:
+            # A serve that died before entering its delivery window must
+            # not wedge the direction; release is idempotent.
+            request_arrival.release()
+
+    def _settle(self, peer_name: str) -> None:
+        with self._lock:
             self.outstanding[peer_name] -= 1
-        wire_back = channel.send(peer, response)
-        result = Handle.unpack(wire_back[:HANDLE_BYTES])
-        absorbed = decode_bundle(self.repo, wire_back[HANDLE_BYTES:])
+
+    def _absorb_reply(
+        self, peer_name: str, encode: Handle, wire_back: bytes
+    ) -> Handle:
+        """Parse a response frame into the local repository and views."""
+        status, body = wire_back[:1], wire_back[1:]
+        if status == _STATUS_ERR:
+            error_type, message = _unpack_error(body)
+            raise RemoteEvalError(peer_name, error_type, message)
+        if status != _STATUS_OK:
+            raise NetworkError(
+                f"{self.name}: bad response status byte {status!r}"
+            )
+        result = Handle.unpack(body[:HANDLE_BYTES])
+        absorbed = decode_bundle(self.repo, body[HANDLE_BYTES:])
         for handle in absorbed:
             self.view.learn(handle.content_key(), peer_name, handle.byte_size())
         self.view.learn(result.content_key(), peer_name, result.byte_size())
         self.repo.put_result(encode, result)
         return result
 
-    def _serve(self, wire: bytes) -> bytes:
+    def _serve(
+        self, wire: bytes, arrival: Optional[_Arrival] = None
+    ) -> Tuple[bytes, int]:
         """Peer side: parse, evaluate, reply with the *filtered* bundle.
 
         The request names its sender, so the reply ships only result
         data the sender is not believed to hold - in particular, never
-        data the sender itself just shipped in this request.
+        data the sender itself just shipped in this request.  Runs on
+        this node's worker pool; a failure after the sender is known
+        (missing data, codelet error) becomes an error-response frame,
+        never an exception through the serving thread.
+
+        ``arrival`` is the request frame's delivery window: the bundle
+        is decoded inside it, in wire order.  The reply is built *and
+        sequenced* under this node's lock, so the reply filter and the
+        reply's position on the wire agree - a reply that omits data
+        "the sender already received" is always ordered after the reply
+        that shipped it.  Returns the sent reply (wire copy, sequence).
         """
+        with self._lock:
+            self.delegations_served += 1
+        sender: Optional[str] = None
+        try:
+            if arrival is not None:
+                with arrival:
+                    sender, encode = self._absorb_request(wire)
+            else:
+                sender, encode = self._absorb_request(wire)
+            result = self.runtime.eval(encode)
+            # Reply with the result and the data needed to read it,
+            # filtered through the view of the caller ("ship only what
+            # the peer is not known to hold" - the same rule the
+            # dispatcher applies).
+            with self._lock:
+                result_fp = transitive_footprint(self.repo, result)
+                to_ship = [
+                    handle
+                    for handle in self.repo.handles()
+                    if handle.content_key() in result_fp.data
+                    and not self.view.knows(handle.content_key(), sender)
+                ]
+                for handle in to_ship:
+                    self.view.learn(
+                        handle.content_key(), sender, handle.byte_size()
+                    )
+                self.view.learn(
+                    result.content_key(), sender, result.byte_size()
+                )
+                payload = (
+                    _STATUS_OK
+                    + result.pack()
+                    + encode_bundle(self.repo, to_ship)
+                )
+                return self._send_back(sender, payload)
+        except BaseException as exc:  # noqa: BLE001 - crosses the wire
+            if sender is None:
+                raise  # cannot even address a reply: a transport failure
+            return self._send_back(sender, _STATUS_ERR + _pack_error(exc))
+
+    def _absorb_request(self, wire: bytes) -> Tuple[str, Handle]:
+        """Decode one request frame into the repository (wire order)."""
         (sender_len,) = _SENDER_LEN.unpack_from(wire, 0)
         offset = _SENDER_LEN.size
         sender = wire[offset : offset + sender_len].decode("utf-8")
         offset += sender_len
         encode = Handle.unpack(wire[offset : offset + HANDLE_BYTES])
         received = decode_bundle(self.repo, wire[offset + HANDLE_BYTES :])
-        self.delegations_served += 1
         # The sender evidently holds everything it shipped: the server's
         # view of the caller advances on receive, mirroring the caller's
         # advance on send.
         for handle in received:
             self.view.learn(handle.content_key(), sender, handle.byte_size())
-        result = self.runtime.eval(encode)
-        # Reply with the result and the data needed to read it, filtered
-        # through the view of the caller ("ship only what the peer is
-        # not known to hold" - the same rule delegate applies).
-        result_fp = transitive_footprint(self.repo, result)
-        to_ship = [
-            handle
-            for handle in self.repo.handles()
-            if handle.content_key() in result_fp.data
-            and not self.view.knows(handle.content_key(), sender)
-        ]
-        for handle in to_ship:
-            self.view.learn(handle.content_key(), sender, handle.byte_size())
-        self.view.learn(result.content_key(), sender, result.byte_size())
-        return result.pack() + encode_bundle(self.repo, to_ship)
+        return sender, encode
+
+    def _send_back(self, sender: str, payload: bytes) -> Tuple[bytes, int]:
+        channel = self.peers.get(sender)
+        if channel is None:
+            raise NetworkError(f"{self.name}: no channel back to {sender!r}")
+        return channel.send(self, payload)
 
     # ------------------------------------------------------------------
     # Placement: the shared cost model decides where to run
@@ -224,11 +631,14 @@ class FixpointNode:
 
         Candidates are first filtered for *serviceability*: a footprint
         key this node cannot ship (not held locally) and the peer is not
-        believed to hold would strand the evaluation there, so peers
-        with such keys only stay candidates when every peer has them
-        (the view may be stale - the peer might hold the datum anyway,
-        and delegating is the only way to find out; staleness must never
-        fail a delegation that could have worked).
+        believed to hold would strand the evaluation there.  Strandedness
+        is counted in missing *keys* (each unshippable key weighs 1),
+        never in bytes - a size-unreported key prices every peer at zero
+        bytes and would let a dead-end peer slip through the filter.
+        Peers with stranded keys only stay candidates when every peer
+        has them (the view may be stale - the peer might hold the datum
+        anyway, and delegating is the only way to find out; staleness
+        must never fail a delegation that could have worked).
         """
         needs = [
             (key, local.get(key, self.view.believed_size(key)))
@@ -236,7 +646,7 @@ class FixpointNode:
         ]
         prices = self.view.price_moves(needs, self.peers)
         unshippable = [
-            (key, size) for key, size in needs if key not in local
+            (key, 1) for key, _ in needs if key not in local
         ]
         stranded = self.view.price_moves(unshippable, self.peers)
         candidates = [
@@ -255,7 +665,9 @@ class FixpointNode:
         :meth:`repro.dist.scheduler.DataflowScheduler.place`: believed
         missing bytes first, in-flight delegation load on ties, then
         name.  A serviceable peer believed to hold *nothing* is still a
-        candidate, it just prices at the full footprint.
+        candidate, it just prices at the full footprint.  Because
+        ``outstanding`` stays raised for the whole flight of an async
+        delegation, quotes taken mid-flight steer toward idle peers.
         """
         if not self.peers:
             raise NetworkError(f"{self.name}: no peers to delegate to")
@@ -283,3 +695,66 @@ class FixpointNode:
         if not self.peers:
             raise MissingObjectError(encode, self.name)
         return self.delegate(self._quote_peers(fp, local).candidate, encode)
+
+    # ------------------------------------------------------------------
+    # Fan-out: many delegations in flight at once
+
+    def scatter(self, encodes: Sequence[Handle]) -> List[Delegation]:
+        """Quote and dispatch every encode without waiting for replies.
+
+        Each dispatch raises ``outstanding`` before the next quote runs,
+        so equal-priced candidates spread round-robin across peers
+        instead of piling onto the first name - the load tiebreak doing
+        real work.  Returns the futures in input order.
+
+        The local inventory is snapshotted once for the whole batch
+        (replies absorbed mid-dispatch could only *add* holdings, and a
+        conservative snapshot merely re-prices - staleness costs
+        redundancy, never correctness); each footprint is computed once
+        and shared between the quote and the dispatch.
+        """
+        if not self.peers:
+            raise NetworkError(f"{self.name}: no peers to delegate to")
+        local = self.runtime.holdings()
+        futures: List[Delegation] = []
+        for encode in encodes:
+            fp = transitive_footprint(self.repo, encode)
+            quote = self._quote_peers(fp, local)
+            futures.append(self._dispatch(quote.candidate, encode, fp))
+        return futures
+
+    def eval_many(self, encodes: Sequence[Handle]) -> List[Handle]:
+        """Evaluate a batch, overlapping remote work with local work.
+
+        Per-encode placement follows :meth:`eval_anywhere`: a complete
+        local footprint runs here, anything else is dispatched
+        asynchronously to the cheapest peer.  All remote dispatches
+        happen *first*, so their wire time and peer-side evaluation
+        overlap the local evaluations that follow; results return in
+        input order.  The first failed delegation raises.
+
+        As in :meth:`scatter`, the local inventory is snapshotted once:
+        a reply absorbed mid-dispatch can only add holdings, so the
+        snapshot at worst delegates work that just became local - a
+        redundant transfer, never a wrong result.
+        """
+        remote: List[Tuple[int, Delegation]] = []
+        local_work: List[Tuple[int, Handle]] = []
+        results: Dict[int, Handle] = {}
+        local = self.runtime.holdings()
+        for index, encode in enumerate(encodes):
+            fp = transitive_footprint(self.repo, encode)
+            if fp.data <= local.keys():
+                local_work.append((index, encode))
+            elif not self.peers:
+                raise MissingObjectError(encode, self.name)
+            else:
+                quote = self._quote_peers(fp, local)
+                remote.append(
+                    (index, self._dispatch(quote.candidate, encode, fp))
+                )
+        for index, encode in local_work:
+            results[index] = self.runtime.eval(encode)
+        for index, future in remote:
+            results[index] = future.result()
+        return [results[index] for index in range(len(encodes))]

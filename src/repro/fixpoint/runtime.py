@@ -25,13 +25,13 @@ deadlock-free.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from ..codelets.linker import Linker
 from ..codelets.stdlib import compile_stdlib
 from ..codelets.toolchain import Toolchain
 from ..core.api import FixAPI
-from ..core.errors import NotAFunctionError
+from ..core.errors import FixError, NotAFunctionError
 from ..core.eval import EvalStats, Evaluator
 from ..core.handle import Handle
 from ..core.limits import DEFAULT_LIMITS, ResourceLimits
@@ -139,6 +139,30 @@ class Fixpoint:
         finally:
             self._merge_stats(evaluator.stats)
 
+    def spawn(self, fn: Callable[[], object]) -> None:
+        """Run ``fn`` off the caller's thread - on the worker pool when
+        this runtime has one, else on a fresh daemon thread.
+
+        This is how a :class:`~repro.fixpoint.net.FixpointNode` serves
+        incoming delegations without blocking the dispatching node: with
+        ``workers=N`` the serve lands on the same pool that evaluates
+        local Encodes (remote and local work genuinely contend, which is
+        what the cost model's load signal measures); a sequential
+        runtime still must not serve inline, so it pays one thread per
+        request instead - as does a pool that closed between the check
+        and the submit (the callable must run somewhere either way).
+        """
+        pool = self.pool
+        if pool is not None and not pool.closed:
+            try:
+                pool.submit_task(fn)
+                return
+            except FixError:
+                pass  # closed concurrently: fall through to a thread
+        threading.Thread(
+            target=fn, name="fixpoint-serve", daemon=True
+        ).start()
+
     def holdings(self) -> Dict[bytes, int]:
         """Content key -> wire size for everything in runtime storage.
 
@@ -213,11 +237,18 @@ class Fixpoint:
 
     def _worker_loop(self) -> None:
         pool = self.pool
-        while pool is not None and not pool.closed:
+        if pool is None:
+            return
+        while True:
             job = pool.pop()
-            if job is None:
-                continue
-            pool.run_job(job, self._execute_encode)
+            if job is not None:
+                pool.run_job(job, self._execute_encode)
+            elif pool.closed:
+                # Drain before exiting: a task enqueued just before
+                # close() (a delegation being served, say) still runs -
+                # abandoning it would leave its Delegation future
+                # unresolved forever.
+                break
 
     def _execute_encode(self, encode: Handle) -> Handle:
         evaluator = _WorkerEvaluator(self)

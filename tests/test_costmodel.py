@@ -335,3 +335,90 @@ class TestOnePolicyBothRuntimes:
         sched, task = self.mirror_into_scheduler(alpha, encode)
         sched.task_started("beta")
         assert sched.place(task).machine == "gamma"
+
+
+class TestForget:
+    """``ObjectView.forget``: the rollback path for optimistic advances."""
+
+    def test_forget_retracts_location_and_holdings(self):
+        view = ObjectView("alpha")
+        view.learn("obj", "beta", 100)
+        view.learn("obj", "gamma", 100)
+        view.forget("obj", "beta")
+        assert not view.knows("obj", "beta")
+        assert view.where("obj") == {"gamma"}
+        assert "obj" not in view.holdings("beta")
+
+    def test_forget_keeps_size_knowledge(self):
+        """Size is per-object, not per-replica: a wrong location belief
+        does not invalidate what we know the object weighs."""
+        view = ObjectView("alpha")
+        view.learn("obj", "beta", 4096)
+        view.forget("obj", "beta")
+        assert view.believed_size("obj") == 4096
+        # Pricing still charges the right weight once re-learned.
+        view.learn("obj", "gamma")
+        assert view.price_moves([("obj", 4096)], ["beta", "gamma"]) == {
+            "beta": 4096,
+            "gamma": 0,
+        }
+
+    def test_forget_last_location_empties_where(self):
+        view = ObjectView("alpha")
+        view.learn("obj", "beta", 10)
+        view.forget("obj", "beta")
+        assert view.where("obj") == set()
+        assert len(view) == 0
+
+    def test_forget_unknown_is_a_noop(self):
+        view = ObjectView("alpha")
+        view.forget("never-seen", "beta")  # must not raise
+        view.learn("obj", "beta", 10)
+        view.forget("obj", "gamma")  # wrong location: no change
+        assert view.knows("obj", "beta")
+
+
+class TestViewConcurrency:
+    """The view's lock: learn/forget racing price_moves stays coherent.
+
+    The executing runtime absorbs delegation replies on serving threads
+    while the dispatcher quotes placements; without the internal lock
+    the pricing pass iterates location sets that mutate under it.
+    """
+
+    def test_concurrent_learn_forget_and_price_moves(self):
+        import threading
+
+        view = ObjectView("alpha")
+        names = [f"obj{i}" for i in range(50)]
+        for name in names:
+            view.learn(name, "beta", 10)
+        needs = [(name, 10) for name in names]
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            try:
+                while not stop.is_set():
+                    for name in names:
+                        view.learn(name, "gamma", 10)
+                    for name in names:
+                        view.forget(name, "gamma")
+            except BaseException as exc:  # pragma: no cover - the failure
+                errors.append(exc)
+
+        thread = threading.Thread(target=churn, daemon=True)
+        thread.start()
+        try:
+            for _ in range(300):
+                prices = view.price_moves(needs, ["beta", "gamma", "delta"])
+                # Atomic pass: beta always holds everything, delta never
+                # does, and gamma is either fully charged or not per
+                # object - never a torn read that breaks the invariant.
+                assert prices["beta"] == 0
+                assert prices["delta"] == 500
+                assert 0 <= prices["gamma"] <= 500
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+        assert not errors, f"churn thread died: {errors[0]!r}"

@@ -242,6 +242,45 @@ class TestEvalAnywhere:
         total = int.from_bytes(alpha.repo.get_blob(result).data, "little")
         assert total == 40 + 2048
 
+    def test_size_unreported_key_cannot_hide_an_unserviceable_peer(self):
+        """Regression: strandedness used to be priced in *bytes*, so an
+        unshippable key whose size nobody ever reported (believed size
+        0) priced every peer at zero and the dead-end peer slipped
+        through the serviceability filter on its cheaper footprint.
+        Missing *keys* are what strand a delegation, so they are counted
+        per key."""
+        alpha = FixpointNode("alpha")
+        beta = FixpointNode("beta")
+        gamma = FixpointNode("gamma")
+        big_payload = bytes(range(256)) * 8  # 2 KiB: alpha and beta have it
+        hbig = alpha.repo.put_blob(big_payload)
+        beta.repo.put_blob(big_payload)
+        alpha.connect(beta)
+        alpha.connect(gamma)
+        # Gamma acquires the key *after* the inventory exchange; alpha
+        # hears about the location through a path that carried no size.
+        hkey = gamma.repo.put_blob(b"k" * 40)
+        alpha.view.learn(hkey.content_key(), "gamma")  # location, no size
+        assert alpha.view.believed_size(hkey.content_key()) == 0  # the trap
+        fn = alpha.runtime.compile(
+            "def _fix_apply(fix, input):\n"
+            "    entries = fix.read_tree(input)\n"
+            "    total = sum(len(fix.read_blob(e)) for e in entries[2:])\n"
+            "    return fix.create_blob(total.to_bytes(8, 'little'))\n",
+            "sizes",
+        )
+        encode = make_application(alpha.repo, fn, [hkey, hbig]).wrap_strict()
+        # Bytes say beta (it already holds the 2 KiB blob, and the key
+        # prices at 0) - but alpha cannot ship the key there, so beta is
+        # a dead end and must be filtered out.
+        quote = alpha.quote_best(encode)
+        assert quote.candidate == "gamma"
+        result = alpha.eval_anywhere(encode)
+        assert gamma.delegations_served == 1
+        assert beta.delegations_served == 0
+        total = int.from_bytes(alpha.repo.get_blob(result).data, "little")
+        assert total == 40 + 2048
+
     def test_local_preferred_even_when_a_peer_is_also_free(self):
         """Prefer local when cheapest: a peer believed to hold the whole
         footprint (price zero, like local) must not steal the job."""

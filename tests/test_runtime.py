@@ -163,3 +163,56 @@ class TestRuntimeBehaviour:
         fp = Fixpoint(workers=2)
         fp.close()
         fp.close()
+
+
+class TestSpawnAndTasks:
+    """Generic tasks on the shared pool (how delegations are served)."""
+
+    def test_spawn_runs_on_the_pool(self):
+        import threading
+
+        with Fixpoint(workers=2) as fx:
+            done = threading.Event()
+            names = []
+
+            def task():
+                names.append(threading.current_thread().name)
+                done.set()
+
+            before = fx.pool.submitted
+            fx.spawn(task)
+            assert done.wait(5)
+            assert fx.pool.submitted == before + 1
+            assert names[0].startswith("fixpoint-")
+
+    def test_spawn_without_pool_uses_a_thread(self):
+        import threading
+
+        fx = Fixpoint(workers=0)
+        done = threading.Event()
+        fx.spawn(done.set)
+        assert done.wait(5)
+
+    def test_close_drains_queued_tasks(self):
+        """Tasks enqueued before close() still run: abandoning them
+        would leave their waiters (delegation futures) hung forever."""
+        import threading
+
+        fx = Fixpoint(workers=1)
+        gate = threading.Event()
+        ran = []
+        fx.pool.submit_task(lambda: gate.wait(5))
+        for i in range(3):
+            fx.pool.submit_task(lambda i=i: ran.append(i))
+        gate.set()
+        fx.close()
+        assert ran == [0, 1, 2]
+
+    def test_submit_task_after_close_raises(self):
+        from repro.core.errors import FixError
+
+        fx = Fixpoint(workers=1)
+        pool = fx.pool
+        fx.close()
+        with pytest.raises(FixError):
+            pool.submit_task(lambda: None)
