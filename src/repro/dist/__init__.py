@@ -6,7 +6,11 @@ Five modules, mirroring the paper's distributed design (sections 4.2, 5-6):
   :class:`TaskSpec`, the :data:`CLIENT` / :data:`EXTERNAL` placements);
 * :mod:`repro.dist.objectview` - :class:`ObjectView`, the passive,
   possibly-stale per-node replica map with its incremental holdings
-  index;
+  index and the versioned digest/delta anti-entropy state;
+* :mod:`repro.dist.gossip` - :class:`GossipCoordinator`, seeded
+  random-peer anti-entropy rounds (O(log n) convergence, O(delta) bytes
+  per handshake) plus the digest/delta wire codec the executing
+  runtime's GOSSIP frames use;
 * :mod:`repro.dist.costmodel` - the one placement policy (believed
   bytes moved, load tiebreak, output hints) shared by the simulated
   scheduler and the executing runtime in :mod:`repro.fixpoint.net`;
@@ -30,6 +34,12 @@ dist cycle.  Everything in ``__all__`` is still reachable as
 from __future__ import annotations
 
 from .costmodel import Quote, choose, price_moves
+from .gossip import (
+    GossipConfig,
+    GossipCoordinator,
+    GossipError,
+    RoundStats,
+)
 from .graph import (
     CLIENT,
     EXTERNAL,
@@ -50,7 +60,7 @@ from .multitenancy import (
     validate_packing,
     validate_timeline,
 )
-from .objectview import ObjectView
+from .objectview import Delta, Digest, ExchangeStats, ObjectView
 from .scheduler import DataflowScheduler, Placement
 
 __all__ = [
@@ -61,11 +71,18 @@ __all__ = [
     "CLIENT",
     "DataSpec",
     "DataflowScheduler",
+    "Delta",
+    "Digest",
     "EXTERNAL",
+    "ExchangeStats",
     "FixpointSim",
+    "GossipConfig",
+    "GossipCoordinator",
+    "GossipError",
     "JobGraph",
     "JobTicket",
     "ObjectView",
+    "RoundStats",
     "Packing",
     "Phase",
     "Placement",

@@ -29,6 +29,19 @@ snapshot - a late-arriving job believes the cluster as it looked at its
 admission, and staleness costs only redundant transfers, never
 correctness - while all job schedulers share one outstanding-load map so
 co-resident jobs spread around each other's work.
+
+**Gossiped beliefs** - pass a :class:`~repro.dist.gossip.GossipConfig`
+and the platform stops granting its global scheduler a free
+coordinator-eye registry snapshot.  Instead every machine keeps its own
+:class:`ObjectView` (a node always knows its disk), the scheduler's
+view joins them in a :class:`~repro.dist.gossip.GossipCoordinator`, and
+beliefs reach the scheduler only as gossip rounds carry them:
+``startup_rounds`` when a graph's placements register,
+``rounds_per_output`` each time an output materializes.  A job's own
+scheduler still observes the outputs it placed (the result handle came
+back to it), but everything else ages realistically - the staleness the
+paper's design tolerates becomes a measurable knob instead of an
+abstraction.
 """
 
 from __future__ import annotations
@@ -43,6 +56,7 @@ from ..baselines.calibration import (
 )
 from ..sim.cluster import Cluster
 from ..sim.engine import Event, Simulator
+from .gossip import GossipConfig, GossipCoordinator
 from .graph import CLIENT, JobGraph, TaskSpec
 from .objectview import ObjectView
 from .scheduler import DataflowScheduler
@@ -63,6 +77,7 @@ class FixpointSim(Platform):
         use_hints: bool = False,
         consumer_pins: Optional[Dict[str, str]] = None,
         seed: int = 0,
+        gossip: Optional[GossipConfig] = None,
         **kwargs,
     ):
         super().__init__(sim, cluster, seed=seed, **kwargs)
@@ -93,6 +108,21 @@ class FixpointSim(Platform):
         #: job_id -> that job's scheduler (own view, shared load).
         self._job_schedulers: Dict[str, DataflowScheduler] = {}
         self._graph: Optional[JobGraph] = None
+        #: Gossiped-belief mode: per-machine views plus the scheduler's
+        #: view anti-entropy through one seeded coordinator; the global
+        #: view then learns only what gossip has carried to it.
+        self.gossip_config = gossip
+        self.machine_views: Dict[str, ObjectView] = {}
+        self.gossip: Optional[GossipCoordinator] = None
+        if gossip is not None:
+            self.machine_views = {
+                name: ObjectView(name) for name in cluster.machines
+            }
+            self.gossip = GossipCoordinator(
+                list(self.machine_views.values()) + [self.scheduler.view],
+                fanout=gossip.fanout,
+                seed=gossip.seed,
+            )
         self.name = self._ablation_name()
 
     def _ablation_name(self) -> str:
@@ -110,9 +140,17 @@ class FixpointSim(Platform):
     def load(self, graph: JobGraph) -> None:
         super().load(graph)
         self._graph = graph
-        # The scheduler's view snapshots the initial placements; outputs
-        # are learned as they materialize (note_output below).
-        self.scheduler.view.sync_from_cluster(self.cluster)
+        if self.gossip is None:
+            # The scheduler's view snapshots the initial placements;
+            # outputs are learned as they materialize (note_output below).
+            self.scheduler.view.sync_from_cluster(self.cluster)
+        else:
+            # No free registry snapshot: each machine learns its own
+            # disk, and the scheduler's view hears whatever the startup
+            # gossip budget carries to it.
+            for view in self.machine_views.values():
+                view.refresh_local(self.cluster)
+            self.gossip.run_rounds(self.gossip_config.startup_rounds)
 
     def start(
         self,
@@ -135,7 +173,12 @@ class FixpointSim(Platform):
             graph, submitter, deadline_slack_hours=deadline_slack_hours
         )
         view = ObjectView(f"fixpoint-{job.job_id}")
-        view.sync_from_cluster(self.cluster)
+        if self.gossip is None:
+            view.sync_from_cluster(self.cluster)
+        else:
+            # The job believes what the (gossip-aged) scheduler believes
+            # at admission - one delta, not a registry snapshot.
+            view.merge_delta(self.scheduler.view.delta_since(view.digest()))
         self._job_schedulers[job.job_id] = DataflowScheduler(
             self.cluster,
             view,
@@ -278,10 +321,19 @@ class FixpointSim(Platform):
             scheduler.task_finished(node)
         # The output materializes at the execution site, and the
         # scheduler's view learns it (consumers will chase the data).
-        # The platform-global view learns it too: it is the
-        # coordinator-eye belief other jobs snapshot at admission.
         self.cluster.add_object(task.output, task.output_size, node)
         scheduler.note_output(task.output, node, task.output_size)
-        if scheduler is not self.scheduler:
-            self.scheduler.note_output(task.output, node, task.output_size)
+        if self.gossip is None:
+            # The platform-global view learns it too: it is the
+            # coordinator-eye belief other jobs snapshot at admission.
+            if scheduler is not self.scheduler:
+                self.scheduler.note_output(task.output, node, task.output_size)
+        else:
+            # Gossiped beliefs: the executing machine knows its own new
+            # replica; everyone else - the global view included - only
+            # hears about it as the round budget spreads it.
+            self.machine_views[node].learn(
+                task.output, node, task.output_size
+            )
+            self.gossip.run_rounds(self.gossip_config.rounds_per_output)
         return node

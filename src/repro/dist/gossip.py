@@ -1,0 +1,328 @@
+"""Epidemic anti-entropy over :class:`~repro.dist.objectview.ObjectView`s.
+
+The paper's inventory handshake (4.2.2) keeps placement beliefs fresh,
+but running it all-pairs is O(n^2) handshakes with each one re-shipping
+full state.  This module runs it *epidemically* instead: every round,
+each view push-pulls a digest+delta exchange with ``fanout`` random
+peers, so new beliefs double their audience roughly every round and the
+whole group converges in O(log n) rounds shipping O(delta) bytes per
+handshake - the Dynamo/Ray-style gossip the ROADMAP called for.
+
+:class:`GossipCoordinator` is the round driver both consumers use:
+
+* the simulated platform (:class:`~repro.dist.engine.FixpointSim` with a
+  :class:`GossipConfig`) gossips machine views plus the scheduler's view
+  between outputs, so scheduler beliefs age realistically instead of
+  snapshotting ground truth;
+* the benchmarks/tests drive it directly to measure convergence rounds,
+  bytes per round, and the staleness-induced redundant transfers a
+  stale belief regime pays.
+
+Everything is seeded: the same seed replays the identical schedule of
+peer choices round by round, which is what makes convergence-rounds
+assertions deterministic.
+
+The module also carries the real wire codec for digests and deltas
+(:func:`pack_digest` / :func:`pack_delta` and their unpack twins) used
+by the executing runtime's GOSSIP frames in :mod:`repro.fixpoint.net` -
+the byte *accounting* in ``Digest.wire_bytes``/``Delta.wire_bytes``
+mirrors exactly this encoding.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import FixError
+from .objectview import Delta, Digest, EMPTY_DIGEST, Entry, ObjectView
+
+_COUNT = struct.Struct("<I")
+_LEN = struct.Struct("<H")
+_U64 = struct.Struct("<Q")
+
+_NAME_STR = b"\x00"
+_NAME_BYTES = b"\x01"
+_NO_SIZE = b"\x00"
+_HAS_SIZE = b"\x01"
+
+
+class GossipError(FixError):
+    """Anti-entropy failures (round budget exhausted, bad wire frames)."""
+
+
+# ----------------------------------------------------------------------
+# Wire codec (shared with repro.fixpoint.net's GOSSIP frames)
+
+
+def pack_digest(digest: Digest) -> bytes:
+    parts = [_COUNT.pack(len(digest.versions))]
+    for origin in sorted(digest.versions):
+        raw = origin.encode("utf-8")
+        parts.append(_LEN.pack(len(raw)) + raw + _U64.pack(digest.versions[origin]))
+    return b"".join(parts)
+
+
+def unpack_digest(raw: bytes, offset: int = 0) -> Tuple[Digest, int]:
+    (count,) = _COUNT.unpack_from(raw, offset)
+    offset += _COUNT.size
+    versions: Dict[str, int] = {}
+    for _ in range(count):
+        (length,) = _LEN.unpack_from(raw, offset)
+        offset += _LEN.size
+        origin = raw[offset : offset + length].decode("utf-8")
+        offset += length
+        (version,) = _U64.unpack_from(raw, offset)
+        offset += _U64.size
+        versions[origin] = version
+    return Digest(versions), offset
+
+
+def _pack_name(name) -> bytes:
+    if isinstance(name, bytes):
+        return _NAME_BYTES + _LEN.pack(len(name)) + name
+    if isinstance(name, str):
+        raw = name.encode("utf-8")
+        return _NAME_STR + _LEN.pack(len(raw)) + raw
+    raise GossipError(
+        f"cannot serialize object name of type {type(name).__name__!r} "
+        "(wire gossip carries str or bytes names)"
+    )
+
+
+def _unpack_name(raw: bytes, offset: int):
+    tag = raw[offset : offset + 1]
+    offset += 1
+    (length,) = _LEN.unpack_from(raw, offset)
+    offset += _LEN.size
+    body = raw[offset : offset + length]
+    offset += length
+    if tag == _NAME_BYTES:
+        return bytes(body), offset
+    if tag == _NAME_STR:
+        return body.decode("utf-8"), offset
+    raise GossipError(f"bad name tag byte {tag!r} in gossip delta")
+
+
+def pack_delta(delta: Delta) -> bytes:
+    parts = [pack_digest(Digest(delta.versions)), _COUNT.pack(len(delta.entries))]
+    for origin, version, name, location, size in delta.entries:
+        origin_raw = origin.encode("utf-8")
+        location_raw = location.encode("utf-8")
+        parts.append(_LEN.pack(len(origin_raw)) + origin_raw + _U64.pack(version))
+        parts.append(_pack_name(name))
+        parts.append(_LEN.pack(len(location_raw)) + location_raw)
+        if size is None:
+            parts.append(_NO_SIZE)
+        else:
+            parts.append(_HAS_SIZE + _U64.pack(size))
+    return b"".join(parts)
+
+
+def unpack_delta(raw: bytes, offset: int = 0) -> Tuple[Delta, int]:
+    caps, offset = unpack_digest(raw, offset)
+    (count,) = _COUNT.unpack_from(raw, offset)
+    offset += _COUNT.size
+    entries: List[Entry] = []
+    for _ in range(count):
+        (length,) = _LEN.unpack_from(raw, offset)
+        offset += _LEN.size
+        origin = raw[offset : offset + length].decode("utf-8")
+        offset += length
+        (version,) = _U64.unpack_from(raw, offset)
+        offset += _U64.size
+        name, offset = _unpack_name(raw, offset)
+        (length,) = _LEN.unpack_from(raw, offset)
+        offset += _LEN.size
+        location = raw[offset : offset + length].decode("utf-8")
+        offset += length
+        flag = raw[offset : offset + 1]
+        offset += 1
+        size: Optional[int] = None
+        if flag == _HAS_SIZE:
+            (size,) = _U64.unpack_from(raw, offset)
+            offset += _U64.size
+        elif flag != _NO_SIZE:
+            raise GossipError(f"bad size flag byte {flag!r} in gossip delta")
+        entries.append((origin, version, name, location, size))
+    return Delta(tuple(entries), dict(caps.versions)), offset
+
+
+# ----------------------------------------------------------------------
+# The round driver
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """Knobs for wiring gossip into a platform (see FixpointSim).
+
+    ``startup_rounds`` run when a graph's initial placements register;
+    ``rounds_per_output`` run each time an output materializes - the
+    aging knob: 0 means the scheduler only ever knows what it saw at
+    startup, higher values keep beliefs fresher at more gossip traffic.
+    """
+
+    fanout: int = 1
+    startup_rounds: int = 2
+    rounds_per_output: int = 1
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Per-round accounting: who exchanged, and what it cost."""
+
+    index: int
+    pairs: Tuple[Tuple[str, str], ...]
+    digest_bytes: int
+    delta_bytes: int
+    entries_shipped: int
+
+    @property
+    def bytes_shipped(self) -> int:
+        return self.digest_bytes + self.delta_bytes
+
+
+class GossipCoordinator:
+    """Seeded random-peer anti-entropy rounds over a set of views.
+
+    One round: every participating view (in registration order)
+    initiates a push-pull exchange with ``fanout`` uniformly random
+    other participants.  With the digest/delta protocol each handshake
+    ships only what the peer lacks; ``full_state=True`` is the ablation
+    that re-ships both full states every handshake (what the old
+    ``exchange`` did), kept measurable so the benchmark can price the
+    difference.
+
+    The coordinator is a driver, not a lock: views guard themselves, so
+    rounds may run concurrently with live traffic mutating the views
+    (the executing runtime's stress test does exactly that).
+    """
+
+    def __init__(
+        self,
+        views: Iterable[ObjectView],
+        fanout: int = 1,
+        seed: int = 0,
+        full_state: bool = False,
+    ):
+        self._views: List[ObjectView] = list(views)
+        if fanout < 1:
+            raise GossipError("gossip fanout must be at least 1")
+        self.fanout = fanout
+        self.full_state = full_state
+        self.rng = random.Random(seed)
+        self.rounds: List[RoundStats] = []
+
+    @property
+    def views(self) -> Sequence[ObjectView]:
+        return tuple(self._views)
+
+    def add_view(self, view: ObjectView) -> None:
+        """Late joiners participate from the next round on."""
+        self._views.append(view)
+
+    # ------------------------------------------------------------------
+
+    def _exchange(self, view: ObjectView, peer: ObjectView):
+        if not self.full_state:
+            return view.exchange(peer)
+        # Ablation: both directions ship everything, no digests first.
+        mine = view.delta_since(EMPTY_DIGEST)
+        theirs = peer.delta_since(EMPTY_DIGEST)
+        peer.merge_delta(mine)
+        view.merge_delta(theirs)
+        from .objectview import ExchangeStats
+
+        return ExchangeStats(
+            digest_bytes=0,
+            delta_bytes=mine.wire_bytes() + theirs.wire_bytes(),
+            entries_shipped=len(mine) + len(theirs),
+        )
+
+    def round(self, participants: Optional[Set[str]] = None) -> RoundStats:
+        """Run one gossip round; returns its accounting.
+
+        ``participants`` (node names) restricts who takes part - the
+        staleness experiments exclude a view from k rounds and measure
+        how much worse its placements price.
+        """
+        active = [
+            v
+            for v in self._views
+            if participants is None or v.node in participants
+        ]
+        pairs: List[Tuple[str, str]] = []
+        digest_bytes = delta_bytes = entries = 0
+        for view in active:
+            peers = [p for p in active if p is not view]
+            if not peers:
+                continue
+            chosen = self.rng.sample(peers, min(self.fanout, len(peers)))
+            for peer in chosen:
+                stats = self._exchange(view, peer)
+                pairs.append((view.node, peer.node))
+                digest_bytes += stats.digest_bytes
+                delta_bytes += stats.delta_bytes
+                entries += stats.entries_shipped
+        stats = RoundStats(
+            index=len(self.rounds),
+            pairs=tuple(pairs),
+            digest_bytes=digest_bytes,
+            delta_bytes=delta_bytes,
+            entries_shipped=entries,
+        )
+        self.rounds.append(stats)
+        return stats
+
+    def run_rounds(
+        self, count: int, participants: Optional[Set[str]] = None
+    ) -> List[RoundStats]:
+        """``count`` unconditional rounds (the platform's aging budget)."""
+        return [self.round(participants) for _ in range(count)]
+
+    def run(self, max_rounds: int = 64) -> int:
+        """Gossip until every view agrees; returns rounds used.
+
+        Raises :class:`GossipError` when the budget runs out first - a
+        convergence *assertion*, not a best-effort loop.  At most
+        ``max_rounds`` rounds execute (convergence is checked once more
+        after the last one), so the accounting in :attr:`rounds` never
+        includes a round past the budget.
+        """
+        for used in range(max_rounds):
+            if self.converged():
+                return used
+            self.round()
+        if self.converged():
+            return max_rounds
+        raise GossipError(
+            f"gossip failed to converge within {max_rounds} rounds "
+            f"({len(self._views)} views)"
+        )
+
+    # ------------------------------------------------------------------
+
+    def converged(self) -> bool:
+        """True when every view's belief snapshot is identical."""
+        if len(self._views) < 2:
+            return True
+        first = self._views[0].snapshot()
+        return all(view.snapshot() == first for view in self._views[1:])
+
+    def union_snapshot(self) -> Dict:
+        """What a converged group must agree on: the union of beliefs."""
+        union = ObjectView("gossip-union")
+        for view in self._views:
+            union.merge_delta(view.delta_since(union.digest()))
+        return union.snapshot()
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.bytes_shipped for r in self.rounds)
+
+    @property
+    def total_entries(self) -> int:
+        return sum(r.entries_shipped for r in self.rounds)

@@ -11,6 +11,28 @@ implements for real in :mod:`repro.fixpoint.net` (which stores content
 keys and per-handle wire sizes in the same class - object names are any
 hashable).
 
+**Anti-entropy is delta-based.**  Every belief this view originates is
+stamped with a per-origin version counter, and the whole state is
+summarised by a compact :meth:`digest` (origin -> highest version
+covered, O(origins) not O(entries)).  A handshake then ships only what
+the peer's digest does not cover: :meth:`delta_since` produces the
+missing entries, :meth:`merge_delta` applies them (idempotently - a
+version already covered is skipped), and :meth:`exchange` is now a thin
+digest+delta wrapper, so two already-converged views ship two digests
+and *zero* entries instead of re-sending full state every handshake.
+Entries keep their origin stamp when forwarded, which is what lets
+epidemic gossip (:mod:`repro.dist.gossip`, the GOSSIP frames in
+:mod:`repro.fixpoint.net`) spread beliefs transitively: a view can
+re-serve what it merged from one peer to another, and the whole group
+converges in O(log n) rounds without O(n^2) handshakes.
+
+Retraction (:meth:`forget`) is deliberately local-only: it removes the
+belief *and its logged stamps* so a rolled-back optimistic advance is
+never gossiped onward, but it ships no tombstones - a peer that already
+merged the entry keeps believing it, which at worst prices a redundant
+transfer.  (Gossiped membership churn / node death is the recorded
+follow-up in ROADMAP.md.)
+
 Crucially the view is *never invalidated*: a replica created after the
 last observation is simply unknown, and :meth:`bytes_missing` prices a
 placement using beliefs, not ground truth.  Staleness costs only
@@ -35,7 +57,17 @@ respect to concurrent observations.
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from . import costmodel
 
@@ -43,6 +75,101 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.cluster import Cluster
 
 _NOTHING: frozenset = frozenset()
+
+#: Wire-size accounting constants (mirrored by the real serialization in
+#: :mod:`repro.dist.gossip`): a u32 count, u16 length prefixes, u64
+#: versions/sizes, and one tag byte per variable-width field.
+_COUNT_BYTES = 4
+_LEN_BYTES = 2
+_U64_BYTES = 8
+
+
+def _name_wire_weight(name: Hashable) -> int:
+    """Bytes a name occupies on the wire (str/bytes exactly, else flat)."""
+    if isinstance(name, bytes):
+        return len(name)
+    if isinstance(name, str):
+        return len(name.encode("utf-8"))
+    return _U64_BYTES
+
+
+#: One versioned belief: ``(origin, version, name, location, size)``.
+#: ``origin`` is the node that *first* recorded the belief; the stamp
+#: travels with the entry through any number of merge hops.
+Entry = Tuple[str, int, Hashable, str, Optional[int]]
+
+
+@dataclass(frozen=True)
+class Digest:
+    """A compact summary of everything a view has *covered*.
+
+    ``versions[origin]`` is the highest version stamp this view has seen
+    from ``origin`` - O(origins), independent of how many entries those
+    versions carried.  Coverage is monotone: versions below the cap are
+    never re-requested, even if the entry itself was later forgotten
+    (retraction is local; see :meth:`ObjectView.forget`).
+    """
+
+    versions: Dict[str, int] = field(default_factory=dict)
+
+    def covers(self, origin: str, version: int) -> bool:
+        return version <= self.versions.get(origin, 0)
+
+    def wire_bytes(self) -> int:
+        """Believed wire footprint (the real codec in repro.dist.gossip)."""
+        return _COUNT_BYTES + sum(
+            _LEN_BYTES + len(origin.encode("utf-8")) + _U64_BYTES
+            for origin in self.versions
+        )
+
+
+#: The digest of a view that has seen nothing: a delta against it is the
+#: sender's full state (the full-state ablation, and the bootstrap).
+EMPTY_DIGEST = Digest()
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Entries one view holds beyond another's digest, plus version caps.
+
+    ``versions`` carries the sender's cap per shipped origin so the
+    receiver's coverage advances even across gaps (entries the sender
+    forgot before forwarding); entries are ascending per origin.
+    """
+
+    entries: Tuple[Entry, ...]
+    versions: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries and not self.versions
+
+    def wire_bytes(self) -> int:
+        total = Digest(self.versions).wire_bytes() + _COUNT_BYTES
+        for origin, _version, name, location, size in self.entries:
+            total += (
+                _LEN_BYTES + len(origin.encode("utf-8")) + _U64_BYTES
+                + 1 + _LEN_BYTES + _name_wire_weight(name)
+                + _LEN_BYTES + len(location.encode("utf-8"))
+                + 1 + (_U64_BYTES if size is not None else 0)
+            )
+        return total
+
+
+@dataclass(frozen=True)
+class ExchangeStats:
+    """What one pairwise anti-entropy handshake actually shipped."""
+
+    digest_bytes: int
+    delta_bytes: int
+    entries_shipped: int
+
+    @property
+    def bytes_shipped(self) -> int:
+        return self.digest_bytes + self.delta_bytes
 
 
 class ObjectView:
@@ -60,6 +187,16 @@ class ObjectView:
         #: Believed sizes, recorded whenever an observation carried one
         #: (cluster snapshots always do; wire traffic carries handle sizes).
         self._sizes: Dict[Hashable, int] = {}
+        #: Anti-entropy state.  ``_vector`` is this view's digest: the
+        #: highest version covered per origin.  ``_log`` keeps the
+        #: entries themselves, ascending per origin, so a delta for any
+        #: peer digest is a binary search plus a tail slice.  ``_stamps``
+        #: maps a believed (name, location) pair back to its log stamps,
+        #: which is what lets :meth:`forget` retract the entry from
+        #: future deltas, not just from the maps.
+        self._vector: Dict[str, int] = {}
+        self._log: Dict[str, List[Tuple[int, Hashable, str, Optional[int]]]] = {}
+        self._stamps: Dict[Tuple[Hashable, str], List[Tuple[str, int]]] = {}
 
     # ------------------------------------------------------------------
     # Observation
@@ -71,12 +208,42 @@ class ObjectView:
 
         The single write path: the forward map, the holdings index, and
         the size index advance together, so they can never disagree.
+        Genuinely *new* information (a new replica belief, or a size the
+        view had wrong) is also stamped with this view's next version so
+        anti-entropy can forward exactly it; re-learning what is already
+        believed stamps nothing - repeat observations stay free on the
+        gossip wire.
         """
         with self._lock:
-            self._locations.setdefault(name, set()).add(location)
+            locations = self._locations.setdefault(name, set())
+            already_known = location in locations
+            size_is_news = size is not None and self._sizes.get(name) != size
+            locations.add(location)
             self._holdings.setdefault(location, set()).add(name)
             if size is not None:
                 self._sizes[name] = size
+            if already_known and not size_is_news:
+                return
+            self._record(self.node, self._vector.get(self.node, 0) + 1,
+                         name, location, size)
+
+    def _record(
+        self,
+        origin: str,
+        version: int,
+        name: Hashable,
+        location: str,
+        size: Optional[int],
+    ) -> None:
+        """Append one stamped entry to the log (lock held by caller).
+
+        Versions only ever grow past the current cap (learn increments
+        it, merge skips covered versions), so per-origin logs stay
+        ascending by construction.
+        """
+        self._vector[origin] = max(self._vector.get(origin, 0), version)
+        self._log.setdefault(origin, []).append((version, name, location, size))
+        self._stamps.setdefault((name, location), []).append((origin, version))
 
     def forget(self, name: Hashable, location: str) -> None:
         """Retract the belief that ``location`` holds ``name``.
@@ -87,8 +254,40 @@ class ObjectView:
         receipt.  Sizes are kept - size knowledge is per-object, not
         per-replica, and stays true even when the location belief was
         wrong.  Forgetting a belief that was never held is a no-op.
+
+        The retraction is scoped to what *this view* asserted: stamps
+        this view originated are stripped from the anti-entropy log, so
+        a rolled-back optimistic advance is never gossiped onward (no
+        tombstone crosses the wire - a peer that already merged it
+        keeps it, at worst pricing a redundant move).  A belief that
+        also carries *foreign* stamps is corroborated independently of
+        the retracted advance - by the holder itself, or a third party
+        - and is kept, stamps and all.  Stripping a foreign stamp would
+        be worse than keeping the belief: this view's digest already
+        covers that version, so no peer would ever re-send it, and a
+        possibly-true fact would become permanently unlearnable through
+        gossip.
         """
         with self._lock:
+            stamps = self._stamps.get((name, location), [])
+            own_versions = {
+                version for origin, version in stamps if origin == self.node
+            }
+            if own_versions:
+                log = self._log.get(self.node)
+                if log:
+                    self._log[self.node] = [
+                        entry for entry in log if entry[0] not in own_versions
+                    ]
+            foreign = [
+                stamp for stamp in stamps if stamp[0] != self.node
+            ]
+            if foreign:
+                # Independently corroborated: the belief outlives the
+                # rollback of this view's own assertion.
+                self._stamps[(name, location)] = foreign
+                return
+            self._stamps.pop((name, location), None)
             locations = self._locations.get(name)
             if locations is not None:
                 locations.discard(location)
@@ -111,6 +310,27 @@ class ObjectView:
         """Everything ``location`` is believed to hold (a copy)."""
         with self._lock:
             return set(self._holdings.get(location, ()))
+
+    def known_locations(self) -> List[str]:
+        """Locations believed to hold *anything* - gossip-learned
+        membership: names can arrive from peers this view's node never
+        talked to directly."""
+        with self._lock:
+            return [loc for loc, names in self._holdings.items() if names]
+
+    def snapshot(self) -> Dict[Hashable, frozenset]:
+        """The belief state as a comparable value (name -> locations).
+
+        Two views are *converged* exactly when their snapshots are
+        equal - the convergence check the gossip coordinator and the
+        property tests use.
+        """
+        with self._lock:
+            return {
+                name: frozenset(locs)
+                for name, locs in self._locations.items()
+                if locs
+            }
 
     def believed_size(self, name: Hashable, default: int = 0) -> int:
         """The last observed size of ``name`` (``default`` when unseen)."""
@@ -148,32 +368,104 @@ class ObjectView:
             if self.node in info.locations:
                 self.learn(name, self.node, info.size)
 
-    def exchange(self, other: "ObjectView", cluster: "Cluster") -> None:
-        """The pairwise inventory handshake of paper 4.2.2.
+    # ------------------------------------------------------------------
+    # Anti-entropy: digest, delta, merge
 
-        Each side refreshes its own local holdings, then both merge the
-        other's beliefs - after which each view contains the union.
+    def digest(self) -> Digest:
+        """This view's coverage summary: origin -> highest version seen.
+
+        O(origins) bytes, independent of entry count - the thing a
+        gossip round ships *instead of* full state.
         """
-        self.refresh_local(cluster)
-        other.refresh_local(cluster)
-        # Snapshot each side under its own lock, never holding both at
-        # once - concurrent exchanges in either order cannot deadlock.
         with self._lock:
-            mine = {name: set(locs) for name, locs in self._locations.items()}
-            my_sizes = dict(self._sizes)
-        with other._lock:
-            theirs = {
-                name: set(locs) for name, locs in other._locations.items()
-            }
-            their_sizes = dict(other._sizes)
-        for name, locs in theirs.items():
-            size = their_sizes.get(name)
-            for location in locs:
-                self.learn(name, location, size)
-        for name, locs in mine.items():
-            size = my_sizes.get(name)
-            for location in locs:
-                other.learn(name, location, size)
+            return Digest(dict(self._vector))
+
+    def delta_since(self, digest: Digest) -> Delta:
+        """Everything this view holds beyond ``digest``'s coverage.
+
+        Per-origin logs are ascending, so the uncovered tail is a binary
+        search plus a slice; a peer that has seen everything gets an
+        empty delta (the short-circuit that makes converged handshakes
+        ~free).  Entries forwarded keep their original origin stamp, so
+        a third party can tell what it already covers.
+        """
+        with self._lock:
+            entries: List[Entry] = []
+            caps: Dict[str, int] = {}
+            for origin in sorted(self._vector):
+                top = self._vector[origin]
+                floor = digest.versions.get(origin, 0)
+                if top <= floor:
+                    continue
+                caps[origin] = top
+                log = self._log.get(origin, [])
+                lo, hi = 0, len(log)
+                while lo < hi:  # first entry with version > floor
+                    mid = (lo + hi) // 2
+                    if log[mid][0] <= floor:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                for version, name, location, size in log[lo:]:
+                    entries.append((origin, version, name, location, size))
+            return Delta(tuple(entries), caps)
+
+    def merge_delta(self, delta: Delta) -> int:
+        """Apply a peer's delta; returns how many entries were news.
+
+        Idempotent by version: an entry whose stamp is already covered
+        is skipped, so replayed/overlapping deltas (concurrent gossip
+        rounds) cannot double-apply.  Accepted entries are re-logged
+        under their *original* origin, which is what lets this view
+        serve them onward - the transitive spread gossip relies on.
+        Finally the version caps advance coverage even across entries
+        the sender had forgotten (gaps ship no tombstone).
+        """
+        with self._lock:
+            applied = 0
+            for origin, version, name, location, size in delta.entries:
+                if version <= self._vector.get(origin, 0):
+                    continue  # already covered: idempotence
+                locations = self._locations.setdefault(name, set())
+                locations.add(location)
+                self._holdings.setdefault(location, set()).add(name)
+                if size is not None:
+                    self._sizes[name] = size
+                self._record(origin, version, name, location, size)
+                applied += 1
+            for origin, top in delta.versions.items():
+                if top > self._vector.get(origin, 0):
+                    self._vector[origin] = top
+            return applied
+
+    def exchange(
+        self, other: "ObjectView", cluster: Optional["Cluster"] = None
+    ) -> ExchangeStats:
+        """The pairwise inventory handshake of paper 4.2.2, delta-based.
+
+        Each side refreshes its own local holdings (when a cluster is
+        given), swaps digests, and ships only the entries the other's
+        digest does not cover - after which each view contains the
+        union, exactly as the old full-state merge did, but a handshake
+        between converged views moves two digests and zero entries.
+
+        Each step takes one view's lock at a time, never both at once -
+        concurrent exchanges in either order cannot deadlock.
+        """
+        if cluster is not None:
+            self.refresh_local(cluster)
+            other.refresh_local(cluster)
+        my_digest = self.digest()
+        their_digest = other.digest()
+        delta_out = self.delta_since(their_digest)
+        delta_in = other.delta_since(my_digest)
+        other.merge_delta(delta_out)
+        self.merge_delta(delta_in)
+        return ExchangeStats(
+            digest_bytes=my_digest.wire_bytes() + their_digest.wire_bytes(),
+            delta_bytes=delta_out.wire_bytes() + delta_in.wire_bytes(),
+            entries_shipped=len(delta_out) + len(delta_in),
+        )
 
     # ------------------------------------------------------------------
     # Placement pricing

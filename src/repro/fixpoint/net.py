@@ -5,8 +5,10 @@ module is the *functional* distributed runtime: several in-process
 Fixpoint nodes connected by message channels, delegating evaluation by
 sending Fix values in the packed wire format (paper section 4.2.1):
 
-* on connect, nodes exchange inventories - content keys *and per-handle
-  wire sizes* - into a passive :class:`~repro.dist.objectview.ObjectView`;
+* on connect, nodes run one digest/delta anti-entropy round - content
+  keys *and per-handle wire sizes* - into a passive
+  :class:`~repro.dist.objectview.ObjectView`, and can re-run it any
+  time with :meth:`FixpointNode.gossip_with` (the GOSSIP frames below);
 * ``delegate_async(encode)`` ships the Encode's minimum repository as
   one bundle (handles are self-describing - no scheduler round trip, no
   extra metadata), tagged with the sender's identity so the remote node
@@ -71,6 +73,25 @@ re-ships instead of stranding on a false belief.
 The ok-response bundle carries only the result data the server does
 *not* believe the caller already holds - echoing back what the caller
 just shipped would double the round trip for nothing.
+
+**Gossip frames.**  Inventory knowledge is no longer connect-time-only:
+:meth:`FixpointNode.gossip_with` runs one push-pull anti-entropy round
+over a live channel, sequenced like every other frame::
+
+    [u8 0x10][u16 sender length][sender utf-8][digest]          (SYN)
+    [u8 0x11][digest][delta]                                    (ACK)
+    [u8 0x12][u16 sender length][sender utf-8][delta]           (PUSH)
+
+using the codec in :mod:`repro.dist.gossip`.  Entries keep their origin
+stamps, so beliefs spread *transitively*: after beta gossips with gamma
+and alpha gossips with beta, alpha knows what gamma holds without ever
+having opened a channel to it - and because placement candidates
+include every gossip-learned node resolvable through the optional
+:class:`NodeDirectory`, :meth:`FixpointNode.quote_best` prices those
+nodes and delegation dials them on demand (:meth:`FixpointNode.connect`
+is itself just channel setup plus one gossip round).  Converged peers
+exchange digests and empty deltas - a handshake between nodes that
+already agree ships a few dozen bytes, not their inventories.
 """
 
 from __future__ import annotations
@@ -87,6 +108,12 @@ from ..core.minrepo import Footprint, transitive_footprint
 from ..core.serialize import decode_bundle, encode_bundle
 from ..core.storage import Repository
 from ..dist.costmodel import Quote, choose
+from ..dist.gossip import (
+    pack_delta,
+    pack_digest,
+    unpack_delta,
+    unpack_digest,
+)
 from ..dist.objectview import ObjectView
 from .jobs import Job
 from .runtime import Fixpoint
@@ -97,6 +124,19 @@ _ERR_MSG_LEN = struct.Struct("<I")
 
 _STATUS_OK = b"\x00"
 _STATUS_ERR = b"\x01"
+
+_GOSSIP_SYN = b"\x10"
+_GOSSIP_ACK = b"\x11"
+_GOSSIP_PUSH = b"\x12"
+
+#: Serializes topology mutation (channel registration on *both*
+#: endpoints).  One process-wide lock, not per-node: connect touches two
+#: nodes at once, and delegation now dials gossip-learned peers
+#: implicitly, so two threads (or both ends) may race to link the same
+#: pair - without this they each mint a Channel and the pair's frames
+#: split across two sequence spaces, wedging delivery forever.  Held
+#: only around the dict registration, never across wire traffic.
+_TOPOLOGY_LOCK = threading.Lock()
 
 
 class NetworkError(FixError):
@@ -144,6 +184,43 @@ def _unpack_error(body: bytes) -> Tuple[str, str]:
     offset += _ERR_MSG_LEN.size
     message = body[offset : offset + msg_len].decode("utf-8")
     return error_type, message
+
+
+@dataclass(frozen=True)
+class GossipTraffic:
+    """What one :meth:`FixpointNode.gossip_with` round actually moved."""
+
+    peer: str
+    bytes_shipped: int
+    entries_received: int
+    entries_sent: int
+
+
+class NodeDirectory:
+    """Name -> node resolution: the membership side of gossip.
+
+    Gossip teaches a node *names* of machines holding data; turning a
+    name into a dialable endpoint is a directory lookup (the in-process
+    stand-in for address resolution in a real transport).  Nodes built
+    with ``directory=`` register themselves; placement then treats
+    every resolvable gossip-learned name as a candidate, and delegation
+    connects on demand.
+    """
+
+    def __init__(self):
+        self._nodes: Dict[str, "FixpointNode"] = {}
+
+    def register(self, node: "FixpointNode") -> None:
+        self._nodes[node.name] = node
+
+    def get(self, name: str) -> Optional["FixpointNode"]:
+        return self._nodes.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
 
 
 class _Arrival:
@@ -318,14 +395,26 @@ class Delegation:
 class FixpointNode:
     """One executing node: a Fixpoint runtime plus peer channels."""
 
-    def __init__(self, name: str, workers: int = 0):
+    def __init__(
+        self,
+        name: str,
+        workers: int = 0,
+        directory: Optional[NodeDirectory] = None,
+    ):
         self.name = name
         self.runtime = Fixpoint(workers=workers)
         self.peers: Dict[str, Channel] = {}
         #: What this node believes its peers hold (the passive view):
         #: object names are content keys, locations are peer names, and
         #: sizes come from the handles seen in inventory/wire traffic.
+        #: Gossip also puts *this node's own* holdings in it, stamped
+        #: with version counters, so anti-entropy can forward them.
         self.view = ObjectView(name)
+        #: Optional membership: lets placement treat gossip-learned
+        #: node names as candidates and delegation dial them on demand.
+        self.directory = directory
+        if directory is not None:
+            directory.register(self)
         #: In-flight delegations per peer - the load signal the cost
         #: model spreads equal-price candidates with.  Raised at
         #: dispatch, lowered when the reply has been absorbed, so it is
@@ -333,6 +422,7 @@ class FixpointNode:
         self.outstanding: Dict[str, int] = {}
         self.delegations_served = 0
         self.delegations_sent = 0
+        self.gossip_rounds = 0
         #: Serializes dispatch (footprint, send, optimistic view
         #: advance, outstanding bump) against reply bookkeeping.
         self._lock = threading.RLock()
@@ -354,18 +444,30 @@ class FixpointNode:
     # Topology
 
     def connect(self, other: "FixpointNode") -> Channel:
-        """Link two nodes and exchange inventories (paper 4.2.2)."""
-        if other.name in self.peers:
-            return self.peers[other.name]
-        channel = Channel(self, other)
-        self.peers[other.name] = channel
-        other.peers[self.name] = channel
-        self.outstanding.setdefault(other.name, 0)
-        other.outstanding.setdefault(self.name, 0)
-        for handle in other.repo.handles():
-            self.view.learn(handle.content_key(), other.name, handle.byte_size())
-        for handle in self.repo.handles():
-            other.view.learn(handle.content_key(), self.name, handle.byte_size())
+        """Link two nodes; the inventory handshake (paper 4.2.2) is one
+        digest/delta gossip round over the new channel.
+
+        The same round used to run only here - connect-time-only
+        exchange - which is exactly what :meth:`gossip_with` replaces:
+        any later round refreshes the link for O(delta) bytes, and
+        beliefs merged from one peer forward to the next.
+
+        Safe to race: registration is atomic under the topology lock
+        (double-checked), so concurrent dials of the same pair - from
+        either end - share one channel and one sequence space.  The
+        inventory gossip runs after the lock drops; a dispatcher that
+        finds the channel mid-handshake just ships conservatively.
+        """
+        with _TOPOLOGY_LOCK:
+            existing = self.peers.get(other.name)
+            if existing is not None:
+                return existing
+            channel = Channel(self, other)
+            self.peers[other.name] = channel
+            other.peers[self.name] = channel
+            self.outstanding.setdefault(other.name, 0)
+            other.outstanding.setdefault(self.name, 0)
+        self.gossip_with(other.name)
         return channel
 
     def _peer(self, name: str) -> "FixpointNode":
@@ -373,6 +475,114 @@ class FixpointNode:
         if channel is None:
             raise NetworkError(f"{self.name}: no peer named {name!r}")
         return channel.b if channel.a is self else channel.a
+
+    def _ensure_channel(self, peer_name: str) -> Channel:
+        """A live channel to ``peer_name``, dialing through the
+        directory when the name was learned only via gossip."""
+        channel = self.peers.get(peer_name)
+        if channel is not None:
+            return channel
+        if self.directory is not None:
+            node = self.directory.get(peer_name)
+            if node is not None and node is not self:
+                return self.connect(node)
+        raise NetworkError(f"{self.name}: no peer named {peer_name!r}")
+
+    # ------------------------------------------------------------------
+    # Gossip: digest/delta anti-entropy over live channels
+
+    def _refresh_self(self) -> None:
+        """Stamp this node's own holdings into its view (a node always
+        knows its disk); dedup in ``learn`` keeps repeats free."""
+        for key, size in self.runtime.holdings().items():
+            self.view.learn(key, self.name, size)
+
+    def gossip_with(self, peer_name: str) -> GossipTraffic:
+        """One push-pull anti-entropy round with a connected peer.
+
+        Three sequenced frames cross the real channel: SYN (my digest),
+        ACK (peer's digest + the delta I lack), PUSH (the delta the
+        peer lacks).  Every byte is serialized/reparsed and counted on
+        the channel like delegation traffic, and the frames respect the
+        wire order - gossip can run concurrently with live delegations.
+        Between converged peers the deltas are empty: the round costs
+        two digests and framing, not the inventory.
+        """
+        channel = self.peers.get(peer_name)
+        if channel is None:
+            raise NetworkError(f"{self.name}: no peer named {peer_name!r}")
+        peer = self._peer(peer_name)
+        self._refresh_self()
+        sender = self.name.encode("utf-8")
+        syn = (
+            _GOSSIP_SYN
+            + _SENDER_LEN.pack(len(sender))
+            + sender
+            + pack_digest(self.view.digest())
+        )
+        wire, seq = channel.send(self, syn)
+        channel.transit()
+        with channel.arrival(self, seq):
+            ack_wire, ack_seq = peer._serve_gossip_syn(wire)
+        channel.transit()
+        with channel.arrival(peer, ack_seq):
+            if ack_wire[:1] != _GOSSIP_ACK:
+                raise NetworkError(
+                    f"{self.name}: bad gossip ack tag {ack_wire[:1]!r}"
+                )
+            peer_digest, offset = unpack_digest(ack_wire, 1)
+            delta_in, _ = unpack_delta(ack_wire, offset)
+            self.view.merge_delta(delta_in)
+        delta_out = self.view.delta_since(peer_digest)
+        push = (
+            _GOSSIP_PUSH
+            + _SENDER_LEN.pack(len(sender))
+            + sender
+            + pack_delta(delta_out)
+        )
+        push_wire, push_seq = channel.send(self, push)
+        channel.transit()
+        with channel.arrival(self, push_seq):
+            peer._absorb_gossip_push(push_wire)
+        with self._lock:
+            self.gossip_rounds += 1
+        return GossipTraffic(
+            peer=peer_name,
+            bytes_shipped=len(wire) + len(ack_wire) + len(push_wire),
+            entries_received=len(delta_in),
+            entries_sent=len(delta_out),
+        )
+
+    def _serve_gossip_syn(self, wire: bytes) -> Tuple[bytes, int]:
+        """Peer side of a gossip SYN: answer with digest + delta.
+
+        Runs inside the SYN's delivery window on the gossiping thread;
+        sends (and sequences) the ACK on the way out.
+        """
+        if wire[:1] != _GOSSIP_SYN:
+            raise NetworkError(f"{self.name}: bad gossip syn tag {wire[:1]!r}")
+        (sender_len,) = _SENDER_LEN.unpack_from(wire, 1)
+        offset = 1 + _SENDER_LEN.size
+        sender = wire[offset : offset + sender_len].decode("utf-8")
+        digest, _ = unpack_digest(wire, offset + sender_len)
+        self._refresh_self()
+        ack = (
+            _GOSSIP_ACK
+            + pack_digest(self.view.digest())
+            + pack_delta(self.view.delta_since(digest))
+        )
+        with self._lock:
+            self.gossip_rounds += 1
+        return self._send_back(sender, ack)
+
+    def _absorb_gossip_push(self, wire: bytes) -> int:
+        """Peer side of the closing PUSH: merge the caller's delta."""
+        if wire[:1] != _GOSSIP_PUSH:
+            raise NetworkError(f"{self.name}: bad gossip push tag {wire[:1]!r}")
+        (sender_len,) = _SENDER_LEN.unpack_from(wire, 1)
+        offset = 1 + _SENDER_LEN.size + sender_len
+        delta, _ = unpack_delta(wire, offset)
+        return self.view.merge_delta(delta)
 
     # ------------------------------------------------------------------
     # Delegation
@@ -406,9 +616,7 @@ class FixpointNode:
         wire-serialized: a later request's bundle is never parsed by
         the peer before this one's has landed in its repository.
         """
-        channel = self.peers.get(peer_name)
-        if channel is None:
-            raise NetworkError(f"{self.name}: no peer named {peer_name!r}")
+        channel = self._ensure_channel(peer_name)
         peer = self._peer(peer_name)
         future = Delegation(peer_name, encode)
         with self._lock:
@@ -621,45 +829,73 @@ class FixpointNode:
     # ------------------------------------------------------------------
     # Placement: the shared cost model decides where to run
 
-    def _quote_peers(self, fp: Footprint, local: Dict[bytes, int]) -> Quote:
-        """Price every peer for ``fp`` through the shared cost model.
+    def _candidates(self) -> List[str]:
+        """Every node placement may price: connected peers plus any
+        gossip-learned holder the directory can actually dial.
+
+        Without a directory a name learned via gossip is knowledge with
+        no endpoint, so only live channels qualify - placement must
+        never pick a machine delegation cannot reach.
+        """
+        names = set(self.peers)
+        if self.directory is not None:
+            for location in self.view.known_locations():
+                if (
+                    location != self.name
+                    and location not in names
+                    and self.directory.get(location) is not None
+                ):
+                    names.add(location)
+        return sorted(names)
+
+    def _quote_peers(
+        self,
+        fp: Footprint,
+        local: Dict[bytes, int],
+        candidates: Optional[List[str]] = None,
+    ) -> Quote:
+        """Price every candidate for ``fp`` through the shared cost model.
 
         Sizes are authoritative for locally-held data and believed (from
-        the inventory exchange) otherwise; a key whose size nobody ever
+        the inventory gossip) otherwise; a key whose size nobody ever
         reported prices as zero, which charges every candidate equally
         and so never skews the choice.
 
-        Candidates are first filtered for *serviceability*: a footprint
-        key this node cannot ship (not held locally) and the peer is not
-        believed to hold would strand the evaluation there.  Strandedness
-        is counted in missing *keys* (each unshippable key weighs 1),
-        never in bytes - a size-unreported key prices every peer at zero
-        bytes and would let a dead-end peer slip through the filter.
-        Peers with stranded keys only stay candidates when every peer
-        has them (the view may be stale - the peer might hold the datum
-        anyway, and delegating is the only way to find out; staleness
-        must never fail a delegation that could have worked).
+        Candidates default to :meth:`_candidates` - connected peers plus
+        dialable gossip-learned holders.  They are first filtered for
+        *serviceability*: a footprint key this node cannot ship (not
+        held locally) and the peer is not believed to hold would strand
+        the evaluation there.  Strandedness is counted in missing *keys*
+        (each unshippable key weighs 1), never in bytes - a
+        size-unreported key prices every peer at zero bytes and would
+        let a dead-end peer slip through the filter.  Peers with
+        stranded keys only stay candidates when every peer has them
+        (the view may be stale - the peer might hold the datum anyway,
+        and delegating is the only way to find out; staleness must
+        never fail a delegation that could have worked).
         """
+        if candidates is None:
+            candidates = self._candidates()
         needs = [
             (key, local.get(key, self.view.believed_size(key)))
             for key in fp.data
         ]
-        prices = self.view.price_moves(needs, self.peers)
+        prices = self.view.price_moves(needs, candidates)
         unshippable = [
             (key, 1) for key, _ in needs if key not in local
         ]
-        stranded = self.view.price_moves(unshippable, self.peers)
-        candidates = [
-            peer for peer in self.peers if stranded[peer] == 0
-        ] or list(self.peers)
+        stranded = self.view.price_moves(unshippable, candidates)
+        viable = [
+            peer for peer in candidates if stranded[peer] == 0
+        ] or list(candidates)
         return choose(
-            candidates,
+            viable,
             prices.__getitem__,
             lambda peer: self.outstanding.get(peer, 0),
         )
 
     def quote_best(self, encode: Handle) -> Quote:
-        """The cheapest peer quote for evaluating ``encode`` remotely.
+        """The cheapest remote quote for evaluating ``encode``.
 
         This is the executing-runtime twin of
         :meth:`repro.dist.scheduler.DataflowScheduler.place`: believed
@@ -668,11 +904,14 @@ class FixpointNode:
         candidate, it just prices at the full footprint.  Because
         ``outstanding`` stays raised for the whole flight of an async
         delegation, quotes taken mid-flight steer toward idle peers.
+        Candidates include nodes this one has never connected to, when
+        gossip named them and the directory can dial them.
         """
-        if not self.peers:
+        candidates = self._candidates()
+        if not candidates:
             raise NetworkError(f"{self.name}: no peers to delegate to")
         fp = transitive_footprint(self.repo, encode)
-        return self._quote_peers(fp, self.runtime.holdings())
+        return self._quote_peers(fp, self.runtime.holdings(), candidates)
 
     def delegate_best(self, encode: Handle) -> Handle:
         """Delegate to the peer the shared cost model prices cheapest."""
@@ -692,9 +931,12 @@ class FixpointNode:
         local = self.runtime.holdings()
         if fp.data <= local.keys():
             return self.runtime.eval(encode)
-        if not self.peers:
+        candidates = self._candidates()
+        if not candidates:
             raise MissingObjectError(encode, self.name)
-        return self.delegate(self._quote_peers(fp, local).candidate, encode)
+        return self.delegate(
+            self._quote_peers(fp, local, candidates).candidate, encode
+        )
 
     # ------------------------------------------------------------------
     # Fan-out: many delegations in flight at once
@@ -713,13 +955,14 @@ class FixpointNode:
         redundancy, never correctness); each footprint is computed once
         and shared between the quote and the dispatch.
         """
-        if not self.peers:
+        candidates = self._candidates()
+        if not candidates:
             raise NetworkError(f"{self.name}: no peers to delegate to")
         local = self.runtime.holdings()
         futures: List[Delegation] = []
         for encode in encodes:
             fp = transitive_footprint(self.repo, encode)
-            quote = self._quote_peers(fp, local)
+            quote = self._quote_peers(fp, local, candidates)
             futures.append(self._dispatch(quote.candidate, encode, fp))
         return futures
 
@@ -742,14 +985,15 @@ class FixpointNode:
         local_work: List[Tuple[int, Handle]] = []
         results: Dict[int, Handle] = {}
         local = self.runtime.holdings()
+        candidates = self._candidates()
         for index, encode in enumerate(encodes):
             fp = transitive_footprint(self.repo, encode)
             if fp.data <= local.keys():
                 local_work.append((index, encode))
-            elif not self.peers:
+            elif not candidates:
                 raise MissingObjectError(encode, self.name)
             else:
-                quote = self._quote_peers(fp, local)
+                quote = self._quote_peers(fp, local, candidates)
                 remote.append(
                     (index, self._dispatch(quote.candidate, encode, fp))
                 )

@@ -7,7 +7,7 @@ import pytest
 from repro.codelets.stdlib import ADD_U8_SOURCE, blob_int, int_blob
 from repro.core.errors import MissingObjectError
 from repro.core.thunks import make_application, make_identification, strict
-from repro.fixpoint.net import FixpointNode, NetworkError
+from repro.fixpoint.net import FixpointNode, NetworkError, NodeDirectory
 
 #: A padded codelet whose shipping cost is visible on the wire.
 FAT_INC_SOURCE = (
@@ -293,20 +293,53 @@ class TestEvalAnywhere:
         assert a.delegations_sent == 0
 
 
+class TestGossipLearnedPeer:
+    """Inventory knowledge is no longer connect-time-only: anti-entropy
+    carries third-party holdings, and placement acts on them."""
+
+    def test_places_work_on_a_peer_known_only_via_gossip(self):
+        """Acceptance: alpha delegates to gamma, which it learned about
+        purely through gossip with beta - no alpha-gamma channel existed
+        when the placement was priced."""
+        directory = NodeDirectory()
+        alpha = FixpointNode("alpha", directory=directory)
+        beta = FixpointNode("beta", directory=directory)
+        gamma = FixpointNode("gamma", directory=directory)
+        alpha.connect(beta)
+        beta.connect(gamma)
+        # The fat codelet appears on gamma *after* every connect, so no
+        # connect-time exchange could have told alpha about it.
+        fn = gamma.runtime.compile(FAT_INC_SOURCE, "fat-inc")
+        beta.gossip_with("gamma")
+        alpha.gossip_with("beta")
+        assert "gamma" not in alpha.peers
+        arg = alpha.repo.put_blob(int_blob(6))
+        encode = make_application(alpha.repo, fn, [arg]).wrap_strict()
+        assert alpha.quote_best(encode).candidate == "gamma"
+        result = alpha.delegate_best(encode)
+        assert blob_int(alpha.repo.get_blob(result).data) == 7
+        assert gamma.delegations_served == 1
+        assert beta.delegations_served == 0
+        assert "gamma" in alpha.peers  # the delegation dialed it
+
+
 class TestReplyFiltering:
     def test_reply_does_not_echo_caller_shipped_data(self, pair):
         """The server filters the reply through its view of the caller:
         data the caller just shipped never rides the wire back."""
         a, b = pair
+        channel = a.peers["beta"]
+        # Connect's inventory gossip already rode this channel; measure
+        # the delegation's own traffic relative to that baseline.
+        sent_before, received_before = channel.bytes_ab, channel.bytes_ba
         payload = bytes(range(256)) * 8  # 2 KiB
         blob = a.repo.put_blob(payload)
         encode = strict(make_identification(blob))
         result = a.delegate("beta", encode)
-        channel = a.peers["beta"]
         # Request carries the blob; the reply is just the result handle
         # plus an (empty) bundle - the old code echoed all 2 KiB back.
-        assert channel.bytes_ab > len(payload)
-        assert channel.bytes_ba < 100
+        assert channel.bytes_ab - sent_before > len(payload)
+        assert channel.bytes_ba - received_before < 100
         assert a.repo.get_blob(result).data == payload
         assert b.repo.get_blob(result).data == payload
 

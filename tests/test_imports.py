@@ -57,6 +57,7 @@ EXPECTED_MODULES = [
     "repro.dist.admission",
     "repro.dist.costmodel",
     "repro.dist.engine",
+    "repro.dist.gossip",
     "repro.dist.graph",
     "repro.dist.multitenancy",
     "repro.dist.objectview",
@@ -123,6 +124,7 @@ class TestDistExports:
         submodules = {
             "admission",
             "costmodel",
+            "gossip",
             "graph",
             "objectview",
             "scheduler",

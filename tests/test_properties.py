@@ -19,6 +19,7 @@ from repro.core.thunks import (
     make_selection_range,
     strict,
 )
+from repro.dist.gossip import GossipCoordinator
 from repro.dist.multitenancy import (
     AppProfile,
     Phase,
@@ -27,6 +28,7 @@ from repro.dist.multitenancy import (
     peak_reservation_packing,
     validate_packing,
 )
+from repro.dist.objectview import EMPTY_DIGEST, ObjectView
 from repro.sim.engine import Simulator, all_of
 from repro.sim.resources import Resource
 from repro.sim.stats import CpuAccountant, report
@@ -189,6 +191,103 @@ class TestWireFuzz:
                     Repository_ = Repository()
                     # decode already verified payload-vs-handle.
                     assert handle.pack()
+
+
+# ----------------------------------------------------------------------
+# Gossip anti-entropy invariants (the digest/delta merge is a join)
+
+#: Random view histories: up to 4 views, each applying learns (and the
+#: occasional forget) over a small namespace of objects and machines.
+view_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # which view
+        st.sampled_from(["learn", "forget"]),
+        st.integers(min_value=0, max_value=7),  # object index
+        st.integers(min_value=0, max_value=4),  # machine index
+        st.one_of(st.none(), st.integers(min_value=1, max_value=1 << 20)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _views_from_ops(ops, count=4):
+    views = [ObjectView(f"v{i}") for i in range(count)]
+    for index, op, obj, machine, size in ops:
+        view = views[index % count]
+        name, location = f"obj{obj}", f"m{machine}"
+        if op == "learn":
+            view.learn(name, location, size)
+        else:
+            view.forget(name, location)
+    return views
+
+
+def _merge_into_fresh(name, *sources):
+    """The join of several views' states, built from full deltas."""
+    target = ObjectView(name)
+    for source in sources:
+        target.merge_delta(source.delta_since(target.digest()))
+    return target
+
+
+class TestGossipMergeAlgebra:
+    """merge_delta is an idempotent, commutative, associative join over
+    belief states - the algebra that makes epidemic spread converge on
+    the union regardless of delivery order or duplication."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(view_ops)
+    def test_merge_is_idempotent(self, ops):
+        views = _views_from_ops(ops)
+        delta = views[0].delta_since(EMPTY_DIGEST)
+        target = ObjectView("t")
+        target.merge_delta(delta)
+        once = target.snapshot()
+        assert target.merge_delta(delta) == 0  # replay applies nothing
+        assert target.snapshot() == once
+
+    @settings(max_examples=60, deadline=None)
+    @given(view_ops)
+    def test_merge_is_commutative(self, ops):
+        views = _views_from_ops(ops)
+        ab = _merge_into_fresh("ab", views[0], views[1])
+        ba = _merge_into_fresh("ba", views[1], views[0])
+        assert ab.snapshot() == ba.snapshot()
+
+    @settings(max_examples=60, deadline=None)
+    @given(view_ops)
+    def test_merge_is_associative(self, ops):
+        a, b, c, _ = _views_from_ops(ops)
+        left = _merge_into_fresh(
+            "left", _merge_into_fresh("ab", a, b), c
+        )
+        right = _merge_into_fresh(
+            "right", a, _merge_into_fresh("bc", b, c)
+        )
+        assert left.snapshot() == right.snapshot()
+
+    @settings(max_examples=60, deadline=None)
+    @given(view_ops)
+    def test_exchange_converges_on_the_join(self, ops):
+        """A pairwise exchange leaves both sides equal to their join."""
+        views = _views_from_ops(ops, count=2)
+        expected = _merge_into_fresh("join", *views).snapshot()
+        views[0].exchange(views[1])
+        assert views[0].snapshot() == expected
+        assert views[1].snapshot() == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(view_ops, st.integers(min_value=0, max_value=2 ** 31))
+    def test_gossip_rounds_converge_every_view_to_the_union(self, ops, seed):
+        """Whatever the histories and the (seeded) peer schedule, enough
+        rounds converge every view to the union of all beliefs."""
+        views = _views_from_ops(ops)
+        expected = _merge_into_fresh("union", *views).snapshot()
+        coordinator = GossipCoordinator(views, seed=seed)
+        coordinator.run(max_rounds=16)
+        for view in views:
+            assert view.snapshot() == expected
 
 
 # ----------------------------------------------------------------------
