@@ -7,11 +7,15 @@ forcing, and the end-to-end evaluator path are all small constant work.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.core.data import Tree
 from repro.core.eval import Evaluator
 from repro.core.handle import Handle, blob_digest
 from repro.core.storage import Repository
 from repro.core.thunks import make_selection, strict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def test_handle_pack(benchmark):
@@ -66,3 +70,92 @@ def test_selection_forcing(benchmark):
 
     result = benchmark(select)
     assert result.content_key() == children[17].content_key()
+
+
+def test_metrics_export_snapshot(run_once, benchmark):
+    """Measure the instrumented hot paths for real and persist the
+    snapshot as ``BENCH_core.json`` - the first point of the perf
+    trajectory (one committed seed, then one per weekly CI run).
+
+    The snapshot must be ``json.load``-able and carry the three numbers
+    the ROADMAP tracks: scheduler us/decision, channel bytes, and
+    gossip round counts.
+    """
+    from repro.dist.graph import TaskSpec
+    from repro.dist.objectview import ObjectView
+    from repro.dist.scheduler import DataflowScheduler
+    from repro.fixpoint.net import FixpointNode
+    from repro.obs import Obs, dump_bench, load_bench
+    from repro.sim.cluster import Cluster, MachineSpec
+    from repro.sim.engine import Simulator
+
+    from bench_fanout_delegation import FAT_INC_SOURCE
+    from repro.codelets.stdlib import int_blob
+
+    obs = Obs("core")  # wall-clocked: one shared registry, real us
+
+    def experiment():
+        # Real wire traffic: both nodes write into the shared registry.
+        a = FixpointNode("alpha", obs=obs)
+        b = FixpointNode("beta", obs=obs)
+        a.connect(b)
+        fn = a.runtime.compile(FAT_INC_SOURCE, "fat-inc")
+        for n in range(8):
+            a.delegate(
+                "beta",
+                a.runtime.invoke(
+                    fn, [a.repo.put_blob(int_blob(n))]
+                ).wrap_strict(),
+            )
+        a.repo.put_blob(b"post-delegation news")
+        a.gossip_with("beta")
+
+        # Real placement decisions: 256 tasks over a 4-machine cluster.
+        sim = Simulator()
+        cluster = Cluster(
+            sim, [MachineSpec(f"node{i}", cores=4) for i in range(4)]
+        )
+        for i in range(64):
+            cluster.add_object(f"x{i}", (i + 1) << 10, f"node{i % 4}")
+        view = ObjectView("bench", clock=obs.clock)
+        view.sync_from_cluster(cluster)
+        scheduler = DataflowScheduler(cluster, view, obs=obs)
+        for i in range(256):
+            scheduler.place(
+                TaskSpec(
+                    name=f"t{i}",
+                    fn="f",
+                    inputs=(f"x{i % 64}",),
+                    output=f"t{i}.out",
+                    output_size=64,
+                    compute_seconds=0.0,
+                )
+            )
+        return obs.export()
+
+    snap = run_once(benchmark, experiment)
+    metrics = snap["metrics"]
+    place = metrics["histograms"]["scheduler_place_seconds"][0]
+    derived = {
+        "scheduler_us_per_decision": 1e6 * place["sum"] / place["count"],
+        "scheduler_decisions": place["count"],
+        "channel_bytes_total": sum(
+            s["value"] for s in metrics["counters"]["net_bytes_total"]
+        ),
+        "gossip_rounds_total": sum(
+            s["value"] for s in metrics["counters"]["gossip_rounds_total"]
+        ),
+    }
+    path = dump_bench(REPO_ROOT / "BENCH_core.json", {**snap, "derived": derived})
+
+    back = load_bench(path)  # the acceptance criterion: json.load-able
+    assert back["derived"]["scheduler_decisions"] == 256
+    assert back["derived"]["scheduler_us_per_decision"] > 0
+    assert back["derived"]["channel_bytes_total"] > 1024
+    assert back["derived"]["gossip_rounds_total"] >= 1
+    print(
+        "BENCH_core.json: "
+        f"{derived['scheduler_us_per_decision']:.1f} us/decision, "
+        f"{derived['channel_bytes_total']:.0f} channel bytes, "
+        f"{derived['gossip_rounds_total']:.0f} gossip rounds"
+    )

@@ -22,6 +22,7 @@ import time
 from repro.codelets.stdlib import blob_int, int_blob
 from repro.core.thunks import make_application
 from repro.fixpoint.net import FixpointNode
+from repro.obs import NULL_OBS
 
 LATENCY = 0.03  # seconds, per direction
 JOBS = 8
@@ -37,11 +38,15 @@ FAT_INC_SOURCE = (
 )
 
 
-def build_cluster():
+def build_cluster(obs=None):
     """A hub and two peers with identical believed bytes for the fat
-    codelet: every placement between them is a genuine tie."""
-    hub = FixpointNode("hub")
-    peers = [FixpointNode("peer-a"), FixpointNode("peer-b")]
+    codelet: every placement between them is a genuine tie.
+
+    ``obs=NULL_OBS`` builds the cluster with observability off - the
+    control the overhead guard prices real instrumentation against.
+    """
+    hub = FixpointNode("hub", obs=obs)
+    peers = [FixpointNode("peer-a", obs=obs), FixpointNode("peer-b", obs=obs)]
     fn = None
     for peer in peers:
         fn = peer.runtime.compile(FAT_INC_SOURCE, "fat-inc")
@@ -110,4 +115,40 @@ def test_fanout_spreads_and_beats_serial(benchmark, run_once):
     # overlaps instead of serializing.
     assert fanout_wall < serial_wall / 2, (
         f"fan-out {fanout_wall:.3f}s vs serial {serial_wall:.3f}s"
+    )
+
+
+def test_metrics_overhead_under_5pct(benchmark, run_once):
+    """The observability guard: counters, histograms, and span packing
+    on the delegation hot path must add <5% to scatter fan-out wall
+    time versus the ``NULL_OBS`` control (same cluster, same jobs).
+
+    Best-of-3 per variant: the per-direction channel latency floors the
+    wall time, so the minimum isolates instrumentation cost from
+    scheduler noise.
+    """
+
+    def fanout_wall(obs):
+        best = float("inf")
+        for _ in range(3):
+            hub, peers, fn = build_cluster(obs)
+            encodes = encodes_for(hub, fn, JOBS)
+            start = time.perf_counter()
+            for future in hub.scatter(encodes):
+                future.result(30)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def experiment():
+        return fanout_wall(NULL_OBS), fanout_wall(None)
+
+    off, on = run_once(benchmark, experiment)
+    overhead = (on - off) / off
+    print(
+        f"scatter wall: obs off {off * 1e3:7.1f} ms, "
+        f"obs on {on * 1e3:7.1f} ms  ({overhead:+.2%})"
+    )
+    assert on <= off * 1.05, (
+        f"metrics overhead {overhead:.2%} exceeds 5% "
+        f"(off {off:.4f}s, on {on:.4f}s)"
     )

@@ -17,6 +17,9 @@ Public surface:
 * :mod:`repro.flatware` - the POSIX-compat layer over Fix Trees.
 * :mod:`repro.workloads` - the paper's evaluation workloads.
 * :mod:`repro.bench` - the experiment harness regenerating every figure.
+* :mod:`repro.obs` - cluster-wide metrics registry + causal tracing
+  (spans stitched across delegation/gossip wire frames), with JSON
+  ``BENCH_*.json`` snapshot export.
 
 Subpackages beyond ``core`` and ``fixpoint`` load lazily (PEP 562):
 ``repro.dist`` is reachable as an attribute of ``repro`` without paying
@@ -51,6 +54,7 @@ _SUBPACKAGES = (
     "dist",
     "fixpoint",
     "flatware",
+    "obs",
     "sim",
     "workloads",
 )

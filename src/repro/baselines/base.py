@@ -264,10 +264,14 @@ class Platform:
     # Shared helpers (processes)
 
     def _busy(self, machine: str, state: str, cores: int, seconds: float):
-        """Charge ``cores`` in ``state`` on ``machine`` for ``seconds``."""
-        token = self.cluster.accountant.begin(machine, state, cores)
-        yield self.sim.timeout(seconds)
-        self.cluster.accountant.end(token)
+        """Charge ``cores`` in ``state`` on ``machine`` for ``seconds``.
+
+        Uses :meth:`CpuAccountant.track` so a process interrupted at the
+        yield (engine throw/close) still closes its token - the interval
+        actually held is charged instead of vanishing.
+        """
+        with self.cluster.accountant.track(machine, state, cores):
+            yield self.sim.timeout(seconds)
 
     def _fetch(self, obj_name: str, dst: str) -> Event:
         """Make ``obj_name`` resident on ``dst``; returns completion event.

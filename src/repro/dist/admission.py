@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from ..core.errors import SchedulingError
 from ..fixpoint.billing import job_bill
+from ..obs import NULL_OBS, Obs
 from ..sim.engine import Event, Signal
 from .graph import JobGraph, TaskSpec
 from .multitenancy import AppProfile, fits_online, profile_from_graph
@@ -157,6 +158,7 @@ class AdmissionController:
         fairness: str = "drr",
         quantum: Optional[float] = None,
         namespace: bool = True,
+        obs: Optional[Obs] = None,
     ):
         if policy not in ("footprint", "peak"):
             raise AdmissionError(f"unknown admission policy {policy!r}")
@@ -195,6 +197,31 @@ class AdmissionController:
         self._alarm_at: Optional[float] = None
         #: "The world changed" - a submission arrived or a job finished.
         self._stirred = Signal(self.sim, "admission")
+        #: Inherits the platform's obs when it has one (FixpointSim's is
+        #: sim-clocked, so queue delays are simulated seconds and stay
+        #: replay-deterministic); NULL_OBS otherwise.
+        if obs is None:
+            obs = getattr(platform, "obs", None) or NULL_OBS
+        self.obs = obs
+        registry = obs.registry
+        self._m_submitted = registry.counter(
+            "admission_submitted_total", "Submissions accepted into a queue"
+        )
+        self._m_admitted = registry.counter(
+            "admission_admitted_total", "Jobs launched, by tenant"
+        )
+        self._m_rejected = registry.counter(
+            "admission_rejected_total", "Submissions rejected, by reason"
+        )
+        self._m_wait = registry.histogram(
+            "admission_wait_seconds", "Queue delay from submit to launch"
+        )
+        registry.gauge(
+            "admission_queue_depth", "Jobs waiting for admission"
+        ).set_function(lambda: float(len(self._fifo)))
+        registry.gauge(
+            "admission_active_jobs", "Jobs admitted and not yet finished"
+        ).set_function(lambda: float(len(self._active)))
         self.sim.process(self._pump(), name="admission-pump")
 
     # ------------------------------------------------------------------
@@ -228,6 +255,7 @@ class AdmissionController:
         namespaced = graph.prefixed(name) if self.namespace else graph
         profile = profile_from_graph(namespaced, name=name)
         if profile.peak_bytes > self.capacity_bytes:
+            self._m_rejected.inc(tenant=tenant, reason="peak_over_capacity")
             raise AdmissionError(
                 f"job {name!r}: derived peak {profile.peak_bytes} exceeds "
                 f"admission capacity {self.capacity_bytes}"
@@ -245,6 +273,7 @@ class AdmissionController:
             for machine in self.platform.cluster.machines.values()
         )
         if widest > machine_cap:
+            self._m_rejected.inc(tenant=tenant, reason="task_over_machine")
             raise AdmissionError(
                 f"job {name!r}: a task needs {widest} bytes but the "
                 f"largest machine has {machine_cap}"
@@ -264,6 +293,7 @@ class AdmissionController:
             admitted=self.sim.event(f"admitted:{name}"),
         )
         self.tickets.append(ticket)
+        self._m_submitted.inc(tenant=tenant)
         if at is None or at <= self.sim.now:
             self._enqueue(ticket)
         else:
@@ -313,6 +343,8 @@ class AdmissionController:
         self._rr.remove(ticket.tenant)
         self._rr.append(ticket.tenant)
         self.admit_order.append(ticket.name)
+        self._m_admitted.inc(tenant=ticket.tenant)
+        self._m_wait.observe(ticket.admitted_at - ticket.submitted_at)
         self.timeline.append((ticket.profile, ticket.admitted_at))
         self.max_concurrent = max(self.max_concurrent, len(self._active))
         ticket.admitted.succeed(ticket.admitted_at)

@@ -54,6 +54,7 @@ from ..baselines.calibration import (
     INTERNAL_IO_RESUME,
     OVERSUBSCRIPTION_PENALTY,
 )
+from ..obs import Obs
 from ..sim.cluster import Cluster
 from ..sim.engine import Event, Simulator
 from .gossip import GossipConfig, GossipCoordinator
@@ -78,9 +79,18 @@ class FixpointSim(Platform):
         consumer_pins: Optional[Dict[str, str]] = None,
         seed: int = 0,
         gossip: Optional[GossipConfig] = None,
+        obs: Optional[Obs] = None,
         **kwargs,
     ):
         super().__init__(sim, cluster, seed=seed, **kwargs)
+        #: Platform-wide observability on the *simulated* clock: every
+        #: duration a metric or span records is ``sim.now`` time, so the
+        #: whole export is bit-identical under seeded replay (asserted
+        #: by the obs tests) - determinism is a property of the
+        #: substrate, and measurement must not break it.
+        self.obs = obs if obs is not None else Obs(
+            name="fixpoint-sim", clock=lambda: sim.now
+        )
         self.locality = locality
         self.internal_io = internal_io
         self.use_hints = use_hints
@@ -100,10 +110,11 @@ class FixpointSim(Platform):
         #: share this scheduler's outstanding-load map.
         self.scheduler = DataflowScheduler(
             cluster,
-            ObjectView("fixpoint-scheduler"),
+            ObjectView("fixpoint-scheduler", clock=self.obs.clock),
             locality=locality,
             use_hints=use_hints,
             seed=seed,
+            obs=self.obs,
         )
         #: job_id -> that job's scheduler (own view, shared load).
         self._job_schedulers: Dict[str, DataflowScheduler] = {}
@@ -116,12 +127,14 @@ class FixpointSim(Platform):
         self.gossip: Optional[GossipCoordinator] = None
         if gossip is not None:
             self.machine_views = {
-                name: ObjectView(name) for name in cluster.machines
+                name: ObjectView(name, clock=self.obs.clock)
+                for name in cluster.machines
             }
             self.gossip = GossipCoordinator(
                 list(self.machine_views.values()) + [self.scheduler.view],
                 fanout=gossip.fanout,
                 seed=gossip.seed,
+                obs=self.obs,
             )
         self.name = self._ablation_name()
 
@@ -172,7 +185,7 @@ class FixpointSim(Platform):
         job = super().start(
             graph, submitter, deadline_slack_hours=deadline_slack_hours
         )
-        view = ObjectView(f"fixpoint-{job.job_id}")
+        view = ObjectView(f"fixpoint-{job.job_id}", clock=self.obs.clock)
         if self.gossip is None:
             view.sync_from_cluster(self.cluster)
         else:
@@ -186,6 +199,7 @@ class FixpointSim(Platform):
             use_hints=self.use_hints,
             seed=self._seed + job.index,
             outstanding=self.scheduler._outstanding,
+            obs=self.obs,
         )
         # The per-job view dies with the job (no invocation of a
         # finished job can run again); without this, admission-heavy

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import FixError
+from ..obs import NULL_OBS, Obs
 from .objectview import Delta, Digest, EMPTY_DIGEST, Entry, ObjectView
 
 _COUNT = struct.Struct("<I")
@@ -207,6 +208,7 @@ class GossipCoordinator:
         fanout: int = 1,
         seed: int = 0,
         full_state: bool = False,
+        obs: Obs = NULL_OBS,
     ):
         self._views: List[ObjectView] = list(views)
         if fanout < 1:
@@ -215,6 +217,30 @@ class GossipCoordinator:
         self.full_state = full_state
         self.rng = random.Random(seed)
         self.rounds: List[RoundStats] = []
+        #: NULL_OBS by default; the simulated platform passes its
+        #: sim-clocked obs so round/byte counters land in the same
+        #: export as the scheduler's (and stay replay-deterministic).
+        self.obs = obs
+        self._m_rounds = obs.registry.counter(
+            "gossip_coordinator_rounds_total", "Epidemic rounds driven"
+        )
+        self._m_exchanges = obs.registry.counter(
+            "gossip_coordinator_exchanges_total",
+            "Pairwise handshakes across all rounds",
+        )
+        self._m_bytes = obs.registry.counter(
+            "gossip_coordinator_bytes_total",
+            "Handshake bytes by kind (digest vs delta)",
+        )
+        self._m_entries = obs.registry.counter(
+            "gossip_coordinator_entries_total", "Delta entries shipped"
+        )
+        self._m_convergence = obs.registry.histogram(
+            "gossip_convergence_rounds",
+            "Rounds a run() needed to converge every view",
+            buckets=(1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0,
+                     32.0, 48.0, 64.0),
+        )
 
     @property
     def views(self) -> Sequence[ObjectView]:
@@ -275,6 +301,11 @@ class GossipCoordinator:
             entries_shipped=entries,
         )
         self.rounds.append(stats)
+        self._m_rounds.inc()
+        self._m_exchanges.inc(len(pairs))
+        self._m_bytes.inc(digest_bytes, kind="digest")
+        self._m_bytes.inc(delta_bytes, kind="delta")
+        self._m_entries.inc(entries)
         return stats
 
     def run_rounds(
@@ -294,9 +325,11 @@ class GossipCoordinator:
         """
         for used in range(max_rounds):
             if self.converged():
+                self._m_convergence.observe(float(used))
                 return used
             self.round()
         if self.converged():
+            self._m_convergence.observe(float(max_rounds))
             return max_rounds
         raise GossipError(
             f"gossip failed to converge within {max_rounds} rounds "

@@ -175,8 +175,14 @@ class ExchangeStats:
 class ObjectView:
     """One node's belief about which machines hold which objects."""
 
-    def __init__(self, node: str):
+    def __init__(self, node: str, clock=None):
         self.node = node
+        #: Optional observability clock (wall or sim time).  When set,
+        #: every belief advance stamps :attr:`last_advance`, which is
+        #: what :meth:`staleness` ages against - the "how stale is this
+        #: view" gauge the obs registry samples at export.
+        self._clock = clock
+        self.last_advance: Optional[float] = None
         #: Reentrant so :meth:`price_moves` can hold the lock across the
         #: whole pricing pass while its locations callable re-enters.
         self._lock = threading.RLock()
@@ -224,6 +230,8 @@ class ObjectView:
                 self._sizes[name] = size
             if already_known and not size_is_news:
                 return
+            if self._clock is not None:
+                self.last_advance = self._clock()
             self._record(self.node, self._vector.get(self.node, 0) + 1,
                          name, location, size)
 
@@ -350,6 +358,31 @@ class ObjectView:
             return len(self._locations)
 
     # ------------------------------------------------------------------
+    # Observability
+
+    def staleness(self) -> float:
+        """Seconds (by this view's clock) since the belief state last
+        advanced - the age a scheduler's placement decision is priced
+        on.  ``0.0`` until the view has both a clock and a first
+        advance: an empty view is not stale, it is empty."""
+        with self._lock:
+            if self._clock is None or self.last_advance is None:
+                return 0.0
+            return max(0.0, self._clock() - self.last_advance)
+
+    def stats(self) -> Dict[str, int]:
+        """Size-of-belief gauges the obs registry samples at export."""
+        with self._lock:
+            return {
+                "entries": len(self._locations),
+                "replicas": sum(
+                    len(locs) for locs in self._locations.values()
+                ),
+                "log_entries": sum(len(log) for log in self._log.values()),
+                "origins": len(self._vector),
+            }
+
+    # ------------------------------------------------------------------
     # Synchronisation
 
     def sync_from_cluster(self, cluster: "Cluster") -> None:
@@ -436,6 +469,8 @@ class ObjectView:
             for origin, top in delta.versions.items():
                 if top > self._vector.get(origin, 0):
                     self._vector[origin] = top
+            if applied and self._clock is not None:
+                self.last_advance = self._clock()
             return applied
 
     def exchange(

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..core.errors import SchedulingError
+from ..obs import NULL_OBS, Obs
 from .costmodel import choose
 from .graph import TaskSpec
 from .objectview import ObjectView
@@ -58,12 +59,30 @@ class DataflowScheduler:
         use_hints: bool = False,
         seed: int = 0,
         outstanding: Optional[Dict[str, int]] = None,
+        obs: Obs = NULL_OBS,
     ):
         self.cluster = cluster
         self.view = view
         self.locality = locality
         self.use_hints = use_hints
         self.rng = random.Random(seed)
+        #: Observability is off (``NULL_OBS``) unless the platform wires
+        #: one in - :class:`~repro.dist.engine.FixpointSim` passes its
+        #: sim-clocked obs, so ``scheduler_place_seconds`` observes
+        #: simulated durations (0.0: placement is instantaneous in sim
+        #: time) and stays bit-identical under seeded replay, while the
+        #: benchmarks pass a wall-clocked obs to get real us/decision.
+        self.obs = obs
+        self._m_place = obs.registry.histogram(
+            "scheduler_place_seconds", "Placement decision time"
+        )
+        self._m_placements = obs.registry.counter(
+            "scheduler_placements_total", "Placement decisions, by machine"
+        )
+        self._m_move_bytes = obs.registry.counter(
+            "scheduler_predicted_move_bytes_total",
+            "Believed bytes the chosen placements must move",
+        )
         self._machines: List[str] = cluster.machine_names()
         if not self._machines:
             raise SchedulingError("cannot schedule on an empty cluster")
@@ -107,25 +126,33 @@ class DataflowScheduler:
         break by outstanding load, then name (determinism).  The whole
         decision is one :func:`repro.dist.costmodel.choose` call.
         """
-        missing = self.view.bytes_missing_many(
-            self.cluster, task.inputs, self._machines
-        )
-        if not self.locality:
-            machine = self.rng.choice(self._machines)
-            return Placement(
-                task=task.name,
-                machine=machine,
-                predicted_move_bytes=missing[machine],
+        with self._m_place.time():
+            missing = self.view.bytes_missing_many(
+                self.cluster, task.inputs, self._machines
             )
-        best = choose(
-            self._machines,
-            missing.__getitem__,
-            self._outstanding.__getitem__,
-            output_size=task.output_size,
-            consumer_location=consumer_location if self.use_hints else None,
-        )
-        return Placement(
-            task=task.name,
-            machine=best.candidate,
-            predicted_move_bytes=best.move_bytes,
-        )
+            if not self.locality:
+                machine = self.rng.choice(self._machines)
+                placement = Placement(
+                    task=task.name,
+                    machine=machine,
+                    predicted_move_bytes=missing[machine],
+                )
+            else:
+                best = choose(
+                    self._machines,
+                    missing.__getitem__,
+                    self._outstanding.__getitem__,
+                    output_size=task.output_size,
+                    consumer_location=(
+                        consumer_location if self.use_hints else None
+                    ),
+                )
+                placement = Placement(
+                    task=task.name,
+                    machine=best.candidate,
+                    predicted_move_bytes=best.move_bytes,
+                )
+        self._m_placements.inc(machine=placement.machine)
+        if placement.predicted_move_bytes:
+            self._m_move_bytes.inc(placement.predicted_move_bytes)
+        return placement

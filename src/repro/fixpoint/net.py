@@ -54,13 +54,25 @@ delegations overlap their wire time (pipelined, still ordered).
 
 Request frame::
 
-    [u16 sender length][sender utf-8][32-byte encode handle][bundle]
+    [u16 sender length][sender utf-8][16-byte span context]
+    [32-byte encode handle][bundle]
 
 Response frame::
 
-    [u8 status=0][32-byte result handle][bundle]            (ok)
-    [u8 status=1][u16 type length][type utf-8]
-                 [u32 message length][message utf-8]        (error)
+    [16-byte span context][u8 status=0]
+                          [32-byte result handle][bundle]   (ok)
+    [16-byte span context][u8 status=1]
+                          [u16 type length][type utf-8]
+                          [u32 message length][message utf-8]  (error)
+
+The 16-byte :class:`~repro.obs.SpanContext` is how tracing crosses the
+wire: the request carries the caller's *dispatch* span, the peer's
+*serve* span parents to it, and the reply (ok or error) carries the
+serve span back so the caller's *absorb* span parents to that - one
+stitched dispatch -> serve -> absorb chain per delegation, across
+nodes, reassembled by :func:`repro.obs.stitch`.  An untraced node
+ships :data:`~repro.obs.NULL_CONTEXT` and its peers degrade to local
+roots.
 
 The error frame is what carries a peer-side evaluation failure across
 the wire: the serve runs on the peer's thread, so raising through
@@ -78,9 +90,13 @@ just shipped would double the round trip for nothing.
 :meth:`FixpointNode.gossip_with` runs one push-pull anti-entropy round
 over a live channel, sequenced like every other frame::
 
-    [u8 0x10][u16 sender length][sender utf-8][digest]          (SYN)
-    [u8 0x11][digest][delta]                                    (ACK)
-    [u8 0x12][u16 sender length][sender utf-8][delta]           (PUSH)
+    [u8 0x10][u16 sender length][sender utf-8][ctx][digest]        (SYN)
+    [u8 0x11][ctx][digest][delta]                                  (ACK)
+    [u8 0x12][u16 sender length][sender utf-8][ctx][delta]         (PUSH)
+
+(``ctx`` is the same 16-byte span context delegation frames carry: the
+SYN/PUSH ship the caller's *round* span, the ACK the peer's *serve*
+span, so a whole anti-entropy round is one stitched trace too.)
 
 using the codec in :mod:`repro.dist.gossip`.  Entries keep their origin
 stamps, so beliefs spread *transitively*: after beta gossips with gamma
@@ -115,6 +131,7 @@ from ..dist.gossip import (
     unpack_digest,
 )
 from ..dist.objectview import ObjectView
+from ..obs import NULL_CONTEXT, Obs, SpanContext
 from .jobs import Job
 from .runtime import Fixpoint
 
@@ -310,6 +327,11 @@ class Channel:
                 self.bytes_ba += len(payload)
             seq = self._sent[direction]
             self._sent[direction] += 1
+        # Both endpoints count the frame - outside the condition lock,
+        # so metric updates never serialize the wire.
+        receiver = self.b if direction == "ab" else self.a
+        sender._note_frame(receiver.name, "out", len(payload))
+        receiver._note_frame(sender.name, "in", len(payload))
         return bytes(payload), seq  # the wire copy
 
     def arrival(self, sender: "FixpointNode", seq: int) -> _Arrival:
@@ -400,16 +422,24 @@ class FixpointNode:
         name: str,
         workers: int = 0,
         directory: Optional[NodeDirectory] = None,
+        obs: Optional[Obs] = None,
     ):
         self.name = name
-        self.runtime = Fixpoint(workers=workers)
+        #: Observability: metrics registry + tracer.  Each node gets its
+        #: own wall-clocked :class:`~repro.obs.Obs` by default (cheap:
+        #: metric updates are a lock and a dict write), so two-node
+        #: examples produce stitched traces out of the box; pass
+        #: ``repro.obs.NULL_OBS`` to run dark, or share one Obs across
+        #: nodes to get a single cluster-wide registry.
+        self.obs = obs if obs is not None else Obs(name)
+        self.runtime = Fixpoint(workers=workers, obs=self.obs)
         self.peers: Dict[str, Channel] = {}
         #: What this node believes its peers hold (the passive view):
         #: object names are content keys, locations are peer names, and
         #: sizes come from the handles seen in inventory/wire traffic.
         #: Gossip also puts *this node's own* holdings in it, stamped
         #: with version counters, so anti-entropy can forward them.
-        self.view = ObjectView(name)
+        self.view = ObjectView(name, clock=self.obs.clock)
         #: Optional membership: lets placement treat gossip-learned
         #: node names as candidates and delegation dial them on demand.
         self.directory = directory
@@ -426,10 +456,70 @@ class FixpointNode:
         #: Serializes dispatch (footprint, send, optimistic view
         #: advance, outstanding bump) against reply bookkeeping.
         self._lock = threading.RLock()
+        # Instruments (get-or-create: shared-Obs nodes share families,
+        # distinguished by labels).  Live structures - in-flight load,
+        # view size, view staleness - are sampled at export via gauge
+        # callbacks instead of pushed on the hot path.
+        registry = self.obs.registry
+        self._m_frames = registry.counter(
+            "net_frames_total", "Wire frames by peer and direction"
+        )
+        self._m_bytes = registry.counter(
+            "net_bytes_total", "Wire bytes by peer and direction"
+        )
+        self._m_transit = registry.histogram(
+            "net_transit_seconds", "Per-frame wire time, by peer"
+        )
+        self._m_quote = registry.histogram(
+            "quote_seconds", "Placement quote time through the cost model"
+        )
+        self._m_sent = registry.counter(
+            "delegations_sent_total", "Delegations dispatched, by peer"
+        )
+        self._m_served = registry.counter(
+            "delegations_served_total", "Delegations served, by caller"
+        )
+        self._m_rollbacks = registry.counter(
+            "delegation_rollbacks_total",
+            "Failed delegations whose optimistic view advance was rolled back",
+        )
+        self._m_gossip_rounds = registry.counter(
+            "gossip_rounds_total", "Anti-entropy rounds by peer and role"
+        )
+        self._m_gossip_entries = registry.counter(
+            "gossip_entries_total", "Gossip delta entries by direction"
+        )
+        self._m_gossip_bytes = registry.counter(
+            "gossip_bytes_total", "Gossip frame bytes, by peer"
+        )
+        registry.gauge(
+            "delegations_inflight", "Live in-flight delegation load"
+        ).set_function(
+            lambda: float(sum(self.outstanding.values())), node=self.name
+        )
+        view_stats = registry.gauge(
+            "view_size", "ObjectView belief-state sizes"
+        )
+        for stat in ("entries", "replicas", "log_entries", "origins"):
+            view_stats.set_function(
+                lambda s=stat: float(self.view.stats()[s]),
+                node=self.name,
+                stat=stat,
+            )
+        registry.gauge(
+            "view_staleness_seconds",
+            "Age of the view's last belief advance",
+        ).set_function(self.view.staleness, node=self.name)
 
     @property
     def repo(self) -> Repository:
         return self.runtime.repo
+
+    def _note_frame(self, peer: str, direction: str, nbytes: int) -> None:
+        """Count one wire frame (called by :meth:`Channel.send` for
+        both endpoints, outside the channel's condition lock)."""
+        self._m_frames.inc(peer=peer, direction=direction)
+        self._m_bytes.inc(nbytes, peer=peer, direction=direction)
 
     def close(self) -> None:
         self.runtime.close()
@@ -467,6 +557,14 @@ class FixpointNode:
             other.peers[self.name] = channel
             self.outstanding.setdefault(other.name, 0)
             other.outstanding.setdefault(self.name, 0)
+        # Sampled, not copied: tests and benchmarks set a channel's
+        # latency *after* connecting.
+        self.obs.registry.gauge(
+            "net_channel_latency_seconds", "Configured per-direction latency"
+        ).set_function(lambda: channel.latency, peer=other.name)
+        other.obs.registry.gauge(
+            "net_channel_latency_seconds", "Configured per-direction latency"
+        ).set_function(lambda: channel.latency, peer=self.name)
         self.gossip_with(other.name)
         return channel
 
@@ -513,24 +611,29 @@ class FixpointNode:
             raise NetworkError(f"{self.name}: no peer named {peer_name!r}")
         peer = self._peer(peer_name)
         self._refresh_self()
+        span = self.obs.tracer.start("gossip.round", peer=peer_name)
         sender = self.name.encode("utf-8")
         syn = (
             _GOSSIP_SYN
             + _SENDER_LEN.pack(len(sender))
             + sender
+            + span.context.pack()
             + pack_digest(self.view.digest())
         )
         wire, seq = channel.send(self, syn)
-        channel.transit()
+        with self._m_transit.time(peer=peer_name):
+            channel.transit()
         with channel.arrival(self, seq):
             ack_wire, ack_seq = peer._serve_gossip_syn(wire)
-        channel.transit()
+        with self._m_transit.time(peer=peer_name):
+            channel.transit()
         with channel.arrival(peer, ack_seq):
             if ack_wire[:1] != _GOSSIP_ACK:
                 raise NetworkError(
                     f"{self.name}: bad gossip ack tag {ack_wire[:1]!r}"
                 )
-            peer_digest, offset = unpack_digest(ack_wire, 1)
+            _serve_ctx, offset = SpanContext.unpack(ack_wire, 1)
+            peer_digest, offset = unpack_digest(ack_wire, offset)
             delta_in, _ = unpack_delta(ack_wire, offset)
             self.view.merge_delta(delta_in)
         delta_out = self.view.delta_since(peer_digest)
@@ -538,17 +641,29 @@ class FixpointNode:
             _GOSSIP_PUSH
             + _SENDER_LEN.pack(len(sender))
             + sender
+            + span.context.pack()
             + pack_delta(delta_out)
         )
         push_wire, push_seq = channel.send(self, push)
-        channel.transit()
+        with self._m_transit.time(peer=peer_name):
+            channel.transit()
         with channel.arrival(self, push_seq):
             peer._absorb_gossip_push(push_wire)
         with self._lock:
             self.gossip_rounds += 1
+        bytes_shipped = len(wire) + len(ack_wire) + len(push_wire)
+        self._m_gossip_rounds.inc(peer=peer_name, role="caller")
+        self._m_gossip_bytes.inc(bytes_shipped, peer=peer_name)
+        self._m_gossip_entries.inc(len(delta_in), direction="in")
+        self._m_gossip_entries.inc(len(delta_out), direction="out")
+        span.set(
+            bytes=bytes_shipped,
+            entries_in=len(delta_in),
+            entries_out=len(delta_out),
+        ).finish()
         return GossipTraffic(
             peer=peer_name,
-            bytes_shipped=len(wire) + len(ack_wire) + len(push_wire),
+            bytes_shipped=bytes_shipped,
             entries_received=len(delta_in),
             entries_sent=len(delta_out),
         )
@@ -564,15 +679,21 @@ class FixpointNode:
         (sender_len,) = _SENDER_LEN.unpack_from(wire, 1)
         offset = 1 + _SENDER_LEN.size
         sender = wire[offset : offset + sender_len].decode("utf-8")
-        digest, _ = unpack_digest(wire, offset + sender_len)
+        ctx, offset = SpanContext.unpack(wire, offset + sender_len)
+        digest, _ = unpack_digest(wire, offset)
         self._refresh_self()
+        span = self.obs.tracer.start("gossip.serve", parent=ctx, peer=sender)
+        delta = self.view.delta_since(digest)
+        span.set(entries_out=len(delta)).finish()
         ack = (
             _GOSSIP_ACK
+            + span.context.pack()
             + pack_digest(self.view.digest())
-            + pack_delta(self.view.delta_since(digest))
+            + pack_delta(delta)
         )
         with self._lock:
             self.gossip_rounds += 1
+        self._m_gossip_rounds.inc(peer=sender, role="server")
         return self._send_back(sender, ack)
 
     def _absorb_gossip_push(self, wire: bytes) -> int:
@@ -580,9 +701,16 @@ class FixpointNode:
         if wire[:1] != _GOSSIP_PUSH:
             raise NetworkError(f"{self.name}: bad gossip push tag {wire[:1]!r}")
         (sender_len,) = _SENDER_LEN.unpack_from(wire, 1)
-        offset = 1 + _SENDER_LEN.size + sender_len
+        offset = 1 + _SENDER_LEN.size
+        sender = wire[offset : offset + sender_len].decode("utf-8")
+        ctx, offset = SpanContext.unpack(wire, offset + sender_len)
         delta, _ = unpack_delta(wire, offset)
-        return self.view.merge_delta(delta)
+        with self.obs.tracer.start(
+            "gossip.absorb", parent=ctx, peer=sender
+        ) as span:
+            applied = self.view.merge_delta(delta)
+            span.set(applied=applied)
+        return applied
 
     # ------------------------------------------------------------------
     # Delegation
@@ -619,6 +747,7 @@ class FixpointNode:
         channel = self._ensure_channel(peer_name)
         peer = self._peer(peer_name)
         future = Delegation(peer_name, encode)
+        span = self.obs.tracer.start("delegate.dispatch", peer=peer_name)
         with self._lock:
             if fp is None:
                 fp = transitive_footprint(self.repo, encode)
@@ -631,11 +760,13 @@ class FixpointNode:
             request = (
                 _SENDER_LEN.pack(len(sender))
                 + sender
+                + span.context.pack()
                 + encode.pack()
                 + encode_bundle(self.repo, to_ship)
             )
             wire, request_seq = channel.send(self, request)
             self.delegations_sent += 1
+            self._m_sent.inc(peer=peer_name)
             shipped: List[bytes] = []
             for handle in to_ship:
                 key = handle.content_key()
@@ -656,7 +787,7 @@ class FixpointNode:
                         wire, request_seq, shipped,
                     )
                 )
-            except BaseException:
+            except BaseException as exc:
                 # No serving thread will ever run: undo every side
                 # effect of the dispatch (belief, load, and the frame's
                 # slot in the delivery order - an unreleased sequence
@@ -664,8 +795,14 @@ class FixpointNode:
                 for key in shipped:
                     self.view.forget(key, peer_name)
                 self.outstanding[peer_name] -= 1
+                if shipped:
+                    self._m_rollbacks.inc(peer=peer_name)
                 channel.arrival(self, request_seq).release()
+                span.set(bytes=len(wire), handles_shipped=len(shipped))
+                span.finish(status="error", error=str(exc))
                 raise
+            span.set(bytes=len(wire), handles_shipped=len(shipped))
+            span.finish()
         return future
 
     def delegate(self, peer_name: str, encode: Handle) -> Handle:
@@ -699,14 +836,18 @@ class FixpointNode:
         """
         request_arrival = channel.arrival(self, request_seq)
         try:
-            channel.transit()
+            with self._m_transit.time(peer=peer_name):
+                channel.transit()
             wire_back, reply_seq = peer._serve(wire, arrival=request_arrival)
-            channel.transit()
+            with self._m_transit.time(peer=peer_name):
+                channel.transit()
             with channel.arrival(peer, reply_seq):
                 result = self._absorb_reply(peer_name, encode, wire_back)
         except BaseException as exc:  # noqa: BLE001 - resolves the future
             for key in shipped:
                 self.view.forget(key, peer_name)
+            if shipped:
+                self._m_rollbacks.inc(peer=peer_name)
             if not isinstance(exc, FixError):
                 exc = NetworkError(
                     f"{self.name}: delegation to {peer_name!r} died in "
@@ -729,12 +870,25 @@ class FixpointNode:
     def _absorb_reply(
         self, peer_name: str, encode: Handle, wire_back: bytes
     ) -> Handle:
-        """Parse a response frame into the local repository and views."""
-        status, body = wire_back[:1], wire_back[1:]
+        """Parse a response frame into the local repository and views.
+
+        The frame's leading span context is the peer's *serve* span, so
+        the absorb span minted here joins the delegation's trace as its
+        child - the caller-side tail of the stitched chain.  The error
+        frame carries it too: a failed delegation still traces end to
+        end.
+        """
+        ctx, offset = SpanContext.unpack(wire_back, 0)
+        status, body = wire_back[offset : offset + 1], wire_back[offset + 1 :]
+        span = self.obs.tracer.start(
+            "delegate.absorb", parent=ctx, peer=peer_name
+        )
         if status == _STATUS_ERR:
             error_type, message = _unpack_error(body)
+            span.finish(status="error", error=f"{error_type}: {message}")
             raise RemoteEvalError(peer_name, error_type, message)
         if status != _STATUS_OK:
+            span.finish(status="error", error=f"bad status byte {status!r}")
             raise NetworkError(
                 f"{self.name}: bad response status byte {status!r}"
             )
@@ -744,6 +898,8 @@ class FixpointNode:
             self.view.learn(handle.content_key(), peer_name, handle.byte_size())
         self.view.learn(result.content_key(), peer_name, result.byte_size())
         self.repo.put_result(encode, result)
+        span.set(bytes=len(wire_back), handles_absorbed=len(absorbed))
+        span.finish()
         return result
 
     def _serve(
@@ -768,12 +924,20 @@ class FixpointNode:
         with self._lock:
             self.delegations_served += 1
         sender: Optional[str] = None
+        span = None
         try:
             if arrival is not None:
                 with arrival:
-                    sender, encode = self._absorb_request(wire)
+                    sender, encode, ctx = self._absorb_request(wire)
             else:
-                sender, encode = self._absorb_request(wire)
+                sender, encode, ctx = self._absorb_request(wire)
+            # The serve span parents to the caller's dispatch span (the
+            # context the request frame carried): this is the hop where
+            # the trace crosses nodes.
+            span = self.obs.tracer.start(
+                "delegate.serve", parent=ctx, peer=sender
+            )
+            self._m_served.inc(peer=sender)
             result = self.runtime.eval(encode)
             # Reply with the result and the data needed to read it,
             # filtered through the view of the caller ("ship only what
@@ -794,8 +958,10 @@ class FixpointNode:
                 self.view.learn(
                     result.content_key(), sender, result.byte_size()
                 )
+                span.set(handles_shipped=len(to_ship)).finish()
                 payload = (
-                    _STATUS_OK
+                    span.context.pack()
+                    + _STATUS_OK
                     + result.pack()
                     + encode_bundle(self.repo, to_ship)
                 )
@@ -803,14 +969,28 @@ class FixpointNode:
         except BaseException as exc:  # noqa: BLE001 - crosses the wire
             if sender is None:
                 raise  # cannot even address a reply: a transport failure
-            return self._send_back(sender, _STATUS_ERR + _pack_error(exc))
+            # The error frame still carries the serve span (minted right
+            # after the request parsed, so it exists on every path that
+            # can address a reply): the caller's absorb span joins the
+            # trace even for failures.
+            if span is not None:
+                span.finish(
+                    status="error", error=f"{type(exc).__name__}: {exc}"
+                )
+            reply_ctx = span.context if span is not None else NULL_CONTEXT
+            return self._send_back(
+                sender, reply_ctx.pack() + _STATUS_ERR + _pack_error(exc)
+            )
 
-    def _absorb_request(self, wire: bytes) -> Tuple[str, Handle]:
+    def _absorb_request(
+        self, wire: bytes
+    ) -> Tuple[str, Handle, SpanContext]:
         """Decode one request frame into the repository (wire order)."""
         (sender_len,) = _SENDER_LEN.unpack_from(wire, 0)
         offset = _SENDER_LEN.size
         sender = wire[offset : offset + sender_len].decode("utf-8")
         offset += sender_len
+        ctx, offset = SpanContext.unpack(wire, offset)
         encode = Handle.unpack(wire[offset : offset + HANDLE_BYTES])
         received = decode_bundle(self.repo, wire[offset + HANDLE_BYTES :])
         # The sender evidently holds everything it shipped: the server's
@@ -818,7 +998,7 @@ class FixpointNode:
         # advance on send.
         for handle in received:
             self.view.learn(handle.content_key(), sender, handle.byte_size())
-        return sender, encode
+        return sender, encode, ctx
 
     def _send_back(self, sender: str, payload: bytes) -> Tuple[bytes, int]:
         channel = self.peers.get(sender)
@@ -876,23 +1056,24 @@ class FixpointNode:
         """
         if candidates is None:
             candidates = self._candidates()
-        needs = [
-            (key, local.get(key, self.view.believed_size(key)))
-            for key in fp.data
-        ]
-        prices = self.view.price_moves(needs, candidates)
-        unshippable = [
-            (key, 1) for key, _ in needs if key not in local
-        ]
-        stranded = self.view.price_moves(unshippable, candidates)
-        viable = [
-            peer for peer in candidates if stranded[peer] == 0
-        ] or list(candidates)
-        return choose(
-            viable,
-            prices.__getitem__,
-            lambda peer: self.outstanding.get(peer, 0),
-        )
+        with self._m_quote.time():
+            needs = [
+                (key, local.get(key, self.view.believed_size(key)))
+                for key in fp.data
+            ]
+            prices = self.view.price_moves(needs, candidates)
+            unshippable = [
+                (key, 1) for key, _ in needs if key not in local
+            ]
+            stranded = self.view.price_moves(unshippable, candidates)
+            viable = [
+                peer for peer in candidates if stranded[peer] == 0
+            ] or list(candidates)
+            return choose(
+                viable,
+                prices.__getitem__,
+                lambda peer: self.outstanding.get(peer, 0),
+            )
 
     def quote_best(self, encode: Handle) -> Quote:
         """The cheapest remote quote for evaluating ``encode``.

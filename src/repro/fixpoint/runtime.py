@@ -79,12 +79,19 @@ class Fixpoint:
         workers: int = 0,
         memoize: bool = True,
         with_stdlib: bool = True,
+        obs=None,
     ):
         self.repo = repo if repo is not None else Repository()
         self.toolchain = Toolchain(self.repo)
         self.linker = Linker(self.repo)
         self.memoize = memoize
-        self.trace = Trace()
+        #: With an :class:`~repro.obs.Obs` the invocation trace emits
+        #: into that obs' registry, so a node's codelet activity lands
+        #: in the same export as its wire and scheduling metrics.
+        self.obs = obs
+        self.trace = Trace(
+            registry=obs.registry if obs is not None else None
+        )
         self.stdlib: Dict[str, Handle] = (
             compile_stdlib(self.repo) if with_stdlib else {}
         )

@@ -1,0 +1,182 @@
+"""``repro.obs`` - cluster-wide observability for the reproduction.
+
+One facade, :class:`Obs`, bundles the two instruments every subsystem
+shares:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` of labeled counters,
+  gauges, and fixed-bucket histograms (pluggable clock: wall time for
+  the executing runtime, ``sim.now`` for :class:`FixpointSim`, so
+  simulated metrics are bit-identical under seeded replay);
+* a :class:`~repro.obs.trace.Tracer` of causal spans whose 16-byte
+  :class:`~repro.obs.trace.SpanContext` rides inside the delegation and
+  gossip wire frames of :mod:`repro.fixpoint.net`, so one job's spans
+  stitch across nodes (:func:`stitch`).
+
+Snapshots persist the perf trajectory the ROADMAP calls for:
+:meth:`Obs.export` is a JSON-ready dict and :func:`dump_bench` writes a
+``BENCH_<name>.json`` a future session (or a CI artifact diff) can
+``json.load``; :meth:`Obs.summary` renders the text dashboard the
+examples print.
+
+``NULL_OBS`` is the disabled twin - same API, no work - both the
+default for components that predate a caller opting in, and the control
+the overhead benchmark prices real instrumentation against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+from .metrics import (
+    Clock,
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .trace import (
+    CONTEXT_BYTES,
+    NULL_CONTEXT,
+    NullTracer,
+    Span,
+    SpanContext,
+    Tracer,
+    render_trace,
+    stitch,
+)
+
+#: Schema version stamped into every exported snapshot, so a future
+#: reader of an old ``BENCH_*.json`` knows what it is parsing.
+SNAPSHOT_SCHEMA = 1
+
+
+class Obs:
+    """Registry + tracer under one name and one clock."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        name: str = "obs",
+        clock: Optional[Clock] = None,
+        max_spans: int = 100_000,
+    ):
+        self.name = name
+        self.clock: Clock = clock if clock is not None else time.perf_counter
+        self.registry = MetricsRegistry(name=name, clock=self.clock)
+        self.tracer = Tracer(node=name, clock=self.clock, max_spans=max_spans)
+
+    # ------------------------------------------------------------------
+
+    def export(self) -> Dict[str, object]:
+        """Everything observed, as one deterministic JSON-ready dict."""
+        spans = self.tracer.spans
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "name": self.name,
+            "metrics": self.registry.export(),
+            "spans": [span.as_dict() for span in spans],
+            "traces": len({s.trace_id for s in spans}),
+            "spans_dropped": self.tracer.dropped,
+        }
+
+    def summary(self) -> str:
+        """The text dashboard: metrics, then every stitched trace."""
+        lines = [self.registry.summary()]
+        traces = self.tracer.traces()
+        if traces:
+            lines.append(f"== traces: {self.name} ({len(traces)}) ==")
+            for trace_id in sorted(traces):
+                lines.append(f"trace {trace_id:#x}")
+                lines.append(render_trace(traces[trace_id]))
+        return "\n".join(lines)
+
+    def dump_bench(self, path: Union[str, Path]) -> Path:
+        """Persist this snapshot as ``BENCH_<name>.json`` (see
+        :func:`dump_bench`)."""
+        return dump_bench(path, self.export())
+
+    def reset(self) -> None:
+        self.registry.reset()
+        self.tracer.reset()
+
+
+class NullObs(Obs):
+    """Observability off: every instrument is a shared no-op."""
+
+    enabled = False
+
+    def __init__(self, name: str = "null"):
+        self.name = name
+        self.clock = time.perf_counter
+        self.registry = NullRegistry(name=name)
+        self.tracer = NullTracer(node=name)
+
+    def export(self) -> Dict[str, object]:
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "name": self.name,
+            "metrics": self.registry.export(),
+            "spans": [],
+            "traces": 0,
+            "spans_dropped": 0,
+        }
+
+
+#: The shared disabled instance - pass as ``obs=NULL_OBS`` to run a
+#: component with zero observability overhead.
+NULL_OBS = NullObs()
+
+
+def dump_bench(path: Union[str, Path], payload: Dict[str, object]) -> Path:
+    """Write one ``BENCH_*.json`` snapshot; returns the path written.
+
+    The file is a single JSON object with sorted keys (diffable across
+    runs - the perf trajectory is a git log of these), always loadable
+    back with ``json.load``.  A bare name like ``"core"`` becomes
+    ``BENCH_core.json`` in the working directory.
+    """
+    path = Path(path)
+    if not path.suffix:
+        path = path.with_name(f"BENCH_{path.name}.json")
+    body = {"schema": SNAPSHOT_SCHEMA, **payload}
+    path.write_text(json.dumps(body, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: Union[str, Path]) -> Dict[str, object]:
+    """Read a snapshot back (the trivial inverse, kept for symmetry)."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+__all__ = [
+    "CONTEXT_BYTES",
+    "Clock",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_CONTEXT",
+    "NULL_OBS",
+    "NullObs",
+    "NullRegistry",
+    "NullTracer",
+    "Obs",
+    "SNAPSHOT_SCHEMA",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "dump_bench",
+    "load_bench",
+    "render_trace",
+    "stitch",
+]

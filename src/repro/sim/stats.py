@@ -21,8 +21,9 @@ distinction at the heart of fig. 8b.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Iterator
 
 from ..core.errors import SimulationError
 from .engine import Simulator
@@ -62,6 +63,27 @@ class CpuAccountant:
             token.machine, {state: 0.0 for state in BUSY_STATES}
         )
         per_machine[token.state] += elapsed * token.cores
+
+    @contextmanager
+    def track(
+        self, machine: str, state: str, cores: int = 1
+    ) -> Iterator[StateToken]:
+        """Scoped :meth:`begin`/:meth:`end` that survives exceptions.
+
+        The bare token pattern (``token = begin(...); ...; end(token)``)
+        silently loses the interval when the body raises - or, in a
+        simulation process, when the engine throws into the generator at
+        a yield point - leaving ``busy`` under-accounted and the idle
+        residue inflated.  The ``finally`` here closes the token either
+        way, so an aborted activity is still charged for the core-time
+        it actually held.
+        """
+        token = self.begin(machine, state, cores)
+        try:
+            yield token
+        finally:
+            if not token.closed:
+                self.end(token)
 
     def charge(self, machine: str, state: str, core_seconds: float) -> None:
         """Directly add core-seconds (for closed-form charges)."""

@@ -74,6 +74,9 @@ EXPECTED_MODULES = [
     "repro.flatware.fs",
     "repro.flatware.template",
     "repro.flatware.wasi",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.trace",
     "repro.sim",
     "repro.sim.cluster",
     "repro.sim.engine",
