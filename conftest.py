@@ -23,6 +23,54 @@ def pytest_addoption(parser):
         default=False,
         help="run the paper-figure benchmark suite (benchmarks/bench_*.py)",
     )
+    parser.addoption(
+        "--race",
+        action="store_true",
+        default=False,
+        help=(
+            "enable the repro.analysis lock-order tracker for the whole "
+            "run: every TrackedLock site feeds the acquisition graph, and "
+            "the session fails on any lock-order inversion or "
+            "hold-while-blocking event (see repro/analysis/sync.py)"
+        ),
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--race"):
+        # Enable *before* collection imports the src tree: the tracked
+        # factories bind a lock to the tracker at creation time, so the
+        # tracker must exist before the system under test builds locks.
+        from repro.analysis.sync import enable_tracking
+
+        config._race_tracker = enable_tracking()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _race_clean_report(request):
+    """Under ``--race``: assert an empty inversion report at session end.
+
+    Tests that *intentionally* reconstruct deadlocks (test_analysis.py)
+    run them against private ``LockTracker`` instances via
+    ``tracking(...)``, so the suite-wide tracker only sees the real
+    system's behavior.
+    """
+    yield
+    tracker = getattr(request.config, "_race_tracker", None)
+    if tracker is None:
+        return
+    report = tracker.report()
+    assert not report.cycles and not report.blocking, (
+        "--race found concurrency hazards:\n" + report.format()
+    )
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tracker = getattr(config, "_race_tracker", None)
+    if tracker is not None:
+        report = tracker.report()
+        terminalreporter.write_sep("-", "race detector (--race)")
+        terminalreporter.write_line(report.format())
 
 
 def pytest_collection_modifyitems(config, items):

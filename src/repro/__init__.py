@@ -20,6 +20,9 @@ Public surface:
 * :mod:`repro.obs` - cluster-wide metrics registry + causal tracing
   (spans stitched across delegation/gossip wire frames), with JSON
   ``BENCH_*.json`` snapshot export.
+* :mod:`repro.analysis` - machine-checked concurrency discipline: the
+  tracked-lock race detector behind ``pytest --race`` and the
+  repo-invariant AST linter (``python -m repro.analysis.lint src``).
 
 Subpackages beyond ``core`` and ``fixpoint`` load lazily (PEP 562):
 ``repro.dist`` is reachable as an attribute of ``repro`` without paying
@@ -47,6 +50,7 @@ __version__ = "1.0.0"
 
 #: Subpackages resolvable as ``repro.<name>`` attributes on first touch.
 _SUBPACKAGES = (
+    "analysis",
     "baselines",
     "bench",
     "codelets",

@@ -1,0 +1,71 @@
+"""``repro.analysis`` - machine-checked concurrency discipline.
+
+Two tools, one contract: the invariants reviewers kept re-deriving by
+hand (PR 4's one-worker dispatch deadlock, PR 5's split channel
+sequence space, PR 6's accountant token leak) are now checked by the
+build.
+
+* :mod:`repro.analysis.sync` - drop-in :func:`TrackedLock` /
+  :func:`TrackedRLock` / :func:`TrackedCondition` factories (raw
+  ``threading`` pass-through when tracking is off, like ``NULL_OBS``)
+  feeding a :class:`LockTracker` that records the process-wide
+  lock-acquisition graph, reports lock-order inversions with both
+  stacks, raises on provable self-deadlock, and flags blocking calls
+  made while holding a lock.  Enabled suite-wide by ``pytest --race``.
+
+* :mod:`repro.analysis.lint` - an AST linter over ``src/`` enforcing
+  repo invariants statically: no wall clock or unseeded randomness in
+  sim-clocked modules, no raw ``threading`` locks outside this package,
+  no bare ``except:``, every ``pack_*`` has its ``unpack_*``, no
+  blocking call lexically inside a ``with <lock>:`` body.  Run it with
+  ``python -m repro.analysis.lint src`` (CI fails the build on it).
+"""
+
+from .sync import (
+    DeadlockError,
+    LockOrderError,
+    LockTracker,
+    RaceReport,
+    TrackedCondition,
+    TrackedLock,
+    TrackedRLock,
+    current_tracker,
+    disable_tracking,
+    enable_tracking,
+    note_blocking,
+    tracking,
+)
+
+#: Lint names resolve lazily (PEP 562): ``python -m repro.analysis.lint``
+#: must be able to execute the submodule as ``__main__`` without this
+#: package having imported it first (runpy warns otherwise).
+_LINT_NAMES = ("Violation", "lint_source", "lint_tree", "lint")
+
+
+def __getattr__(name: str):
+    if name in _LINT_NAMES:
+        from . import lint as _lint
+
+        value = _lint if name == "lint" else getattr(_lint, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "DeadlockError",
+    "LockOrderError",
+    "LockTracker",
+    "RaceReport",
+    "TrackedCondition",
+    "TrackedLock",
+    "TrackedRLock",
+    "Violation",
+    "current_tracker",
+    "disable_tracking",
+    "enable_tracking",
+    "lint_source",
+    "lint_tree",
+    "note_blocking",
+    "tracking",
+]

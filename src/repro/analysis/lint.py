@@ -1,0 +1,354 @@
+"""AST-based repo-invariant linter: ``python -m repro.analysis.lint src``.
+
+Every rule here is an invariant the team kept re-deriving in review;
+now the build re-derives it instead:
+
+``wall-clock``
+    Sim-clocked modules (``repro/sim/``, ``repro/dist/``) must not read
+    the wall clock (``time.time``/``perf_counter``/``monotonic``/
+    ``process_time``, ``datetime.now``/``utcnow``/``today``): the
+    seeded-replay bit-identity contract (PR 6) requires every simulated
+    timestamp to come from the simulator's clock.
+
+``unseeded-random``
+    The same modules must not draw from the process-global ``random``
+    module or an unseeded ``random.Random()``: replay determinism means
+    every stream is a ``random.Random(seed)`` owned by a component.
+
+``raw-lock``
+    No ``threading.Lock()`` / ``RLock()`` / ``Condition()`` outside
+    ``repro/analysis/``: all lock sites go through the tracked factories
+    in :mod:`repro.analysis.sync` so the ``--race`` detector sees them.
+
+``bare-except``
+    No ``except:`` - it swallows ``KeyboardInterrupt`` and worker-pool
+    shutdown; name the exception (``except BaseException:`` where a
+    frame boundary genuinely must catch everything).
+
+``codec-pairing``
+    Every ``pack_X`` (or ``_pack_X``) in a module has a matching
+    ``unpack_X`` in the same module: a wire format you can encode but
+    not decode is half a protocol.
+
+``lock-held-blocking``
+    No lexically blocking call - ``.result()``, ``.join()``,
+    ``sleep(...)`` - inside a ``with <lock>:`` body (identifier
+    containing ``lock``, ``cond`` or ``mutex``).  Holding a lock across
+    a blocking call is the hold-while-blocking pattern the runtime
+    tracker flags dynamically; this rule catches it before the code
+    ever runs.  (``Condition.wait`` is exempt: waiting releases the
+    lock - that is the point of a condition.)
+
+A line may opt out of one rule with ``# lint: skip[<rule>]`` when the
+violation is deliberate (e.g. the wall-clock *default* in a module that
+also accepts a sim clock).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Set
+
+__all__ = ["Violation", "lint_source", "lint_path", "lint_tree", "main"]
+
+#: Path fragments marking a module as sim-clocked (seeded-replay
+#: bit-identity applies; see PR 6's snapshot byte-equality test).
+SIM_CLOCKED = ("repro/sim/", "repro/dist/")
+
+#: Path fragments exempt from ``raw-lock`` (the tracker itself).
+RAW_LOCK_EXEMPT = ("repro/analysis/",)
+
+_WALL_CLOCK_TIME = {"time", "monotonic", "perf_counter", "process_time"}
+_WALL_CLOCK_DATE = {"now", "utcnow", "today"}
+_RAW_LOCK_NAMES = {"Lock", "RLock", "Condition"}
+_BLOCKING_ATTRS = {"result", "join"}
+_LOCKISH = re.compile(r"lock|cond|mutex", re.IGNORECASE)
+_SKIP = re.compile(r"#\s*lint:\s*skip\[([a-z-]+)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _last_identifier(node: ast.expr) -> str:
+    """The trailing identifier of a Name/Attribute chain (else '')."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _dotted(node: ast.expr) -> str:
+    """``a.b.c`` for a Name/Attribute chain (best effort, else '')."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, relpath: str, sim_clocked: bool, lock_exempt: bool):
+        self.relpath = relpath
+        self.sim_clocked = sim_clocked
+        self.lock_exempt = lock_exempt
+        self.violations: List[Violation] = []
+        self.pack_defs: Dict[str, int] = {}
+        self.unpack_defs: Set[str] = set()
+        #: Lock-context nesting depth while walking with-bodies.
+        self._lock_depth = 0
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.violations.append(
+            Violation(self.relpath, node.lineno, rule, message)
+        )
+
+    # -- calls ----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        attr = _last_identifier(node.func)
+        if self.sim_clocked:
+            if dotted.startswith("time.") and attr in _WALL_CLOCK_TIME:
+                self._flag(
+                    node, "wall-clock",
+                    f"{dotted}() in a sim-clocked module breaks seeded "
+                    "replay; take the simulator's clock instead",
+                )
+            elif attr in _WALL_CLOCK_DATE and (
+                "datetime" in dotted or "date." in dotted
+            ):
+                self._flag(
+                    node, "wall-clock",
+                    f"{dotted}() in a sim-clocked module breaks seeded replay",
+                )
+            if dotted.startswith("random.") and attr != "Random":
+                self._flag(
+                    node, "unseeded-random",
+                    f"{dotted}() draws from the process-global stream; use "
+                    "a component-owned random.Random(seed)",
+                )
+            elif dotted in ("random.Random", "Random") and not (
+                node.args or node.keywords
+            ):
+                self._flag(
+                    node, "unseeded-random",
+                    "unseeded random.Random() is nondeterministic across "
+                    "runs; pass an explicit seed",
+                )
+        if (
+            not self.lock_exempt
+            and dotted.startswith("threading.")
+            and attr in _RAW_LOCK_NAMES
+        ):
+            self._flag(
+                node, "raw-lock",
+                f"raw {dotted}() is invisible to the --race tracker; use "
+                f"repro.analysis.sync.Tracked{attr}",
+            )
+        if self._lock_depth > 0:
+            self._check_blocking_in_lock(node, dotted, attr)
+        self.generic_visit(node)
+
+    def _check_blocking_in_lock(
+        self, node: ast.Call, dotted: str, attr: str
+    ) -> None:
+        if attr == "sleep":
+            self._flag(
+                node, "lock-held-blocking",
+                "sleep() inside a `with <lock>:` body stalls every other "
+                "thread needing the lock",
+            )
+            return
+        if attr not in _BLOCKING_ATTRS:
+            return
+        value = node.func.value if isinstance(node.func, ast.Attribute) else None
+        # ", ".join(parts) / b"".join(...) are string plumbing, not thread
+        # joins: skip literal receivers and the classic generator-arg idiom.
+        if isinstance(value, ast.Constant):
+            return
+        if attr == "join" and node.args and isinstance(
+            node.args[0], (ast.GeneratorExp, ast.ListComp)
+        ):
+            return
+        self._flag(
+            node, "lock-held-blocking",
+            f".{attr}() inside a `with <lock>:` body blocks while holding "
+            "the lock (the hold-while-blocking deadlock shape)",
+        )
+
+    # -- imports --------------------------------------------------------
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "threading" and not self.lock_exempt:
+            for alias in node.names:
+                if alias.name in _RAW_LOCK_NAMES:
+                    self._flag(
+                        node, "raw-lock",
+                        f"`from threading import {alias.name}` bypasses the "
+                        "tracked factories in repro.analysis.sync",
+                    )
+        if node.module == "random" and self.sim_clocked:
+            for alias in node.names:
+                if alias.name != "Random":
+                    self._flag(
+                        node, "unseeded-random",
+                        f"`from random import {alias.name}` pulls the "
+                        "process-global stream into a sim-clocked module",
+                    )
+        self.generic_visit(node)
+
+    # -- except / with / defs -------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._flag(
+                node, "bare-except",
+                "bare `except:` swallows KeyboardInterrupt and pool "
+                "shutdown; name the exception type",
+            )
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        lockish = any(
+            _LOCKISH.search(_last_identifier(item.context_expr))
+            or (
+                isinstance(item.context_expr, ast.Call)
+                and _LOCKISH.search(_last_identifier(item.context_expr.func))
+            )
+            for item in node.items
+        )
+        for item in node.items:
+            self.visit(item.context_expr)
+        if lockish:
+            self._lock_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if lockish:
+            self._lock_depth -= 1
+
+    def _visit_scope(self, node: ast.AST) -> None:
+        # A nested def/lambda body does not run under the enclosing
+        # lock; scan it with the lock context reset.
+        saved, self._lock_depth = self._lock_depth, 0
+        self.generic_visit(node)
+        self._lock_depth = saved
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._note_codec_def(node.name, node.lineno)
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._note_codec_def(node.name, node.lineno)
+        self._visit_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_scope(node)
+
+    def _note_codec_def(self, name: str, lineno: int) -> None:
+        bare = name.lstrip("_")
+        if bare.startswith("pack_"):
+            self.pack_defs.setdefault(bare[len("pack_"):], lineno)
+        elif bare.startswith("unpack_"):
+            self.unpack_defs.add(bare[len("unpack_"):])
+
+    def finish(self) -> None:
+        for suffix, lineno in sorted(self.pack_defs.items()):
+            if suffix not in self.unpack_defs:
+                self.violations.append(
+                    Violation(
+                        self.relpath, lineno, "codec-pairing",
+                        f"pack_{suffix} has no matching unpack_{suffix} in "
+                        "this module: a wire format you can encode but not "
+                        "decode is half a protocol",
+                    )
+                )
+
+
+def _suppressed(source_lines: Sequence[str], violation: Violation) -> bool:
+    if violation.line - 1 >= len(source_lines):
+        return False
+    match = _SKIP.search(source_lines[violation.line - 1])
+    return match is not None and match.group(1) == violation.rule
+
+
+def lint_source(source: str, relpath: str) -> List[Violation]:
+    """Lint one module's source; ``relpath`` drives path-scoped rules."""
+    normalized = relpath.replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                relpath, exc.lineno or 0, "syntax",
+                f"cannot parse: {exc.msg}",
+            )
+        ]
+    checker = _Checker(
+        relpath,
+        sim_clocked=any(frag in normalized for frag in SIM_CLOCKED),
+        lock_exempt=any(frag in normalized for frag in RAW_LOCK_EXEMPT),
+    )
+    checker.visit(tree)
+    checker.finish()
+    lines = source.splitlines()
+    return [v for v in checker.violations if not _suppressed(lines, v)]
+
+
+def lint_path(path: Path) -> List[Violation]:
+    return lint_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def lint_tree(roots: Sequence[Path]) -> List[Violation]:
+    """Lint every ``*.py`` under each root (a file root lints itself)."""
+    violations: List[Violation] = []
+    for root in roots:
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for path in files:
+            violations.extend(lint_path(path))
+    return violations
+
+
+def main(argv: Sequence[str]) -> int:
+    if not argv or any(arg in ("-h", "--help") for arg in argv):
+        print(__doc__)
+        print("usage: python -m repro.analysis.lint <path> [path...]")
+        return 0 if argv else 2
+    roots = [Path(arg) for arg in argv]
+    missing = [str(p) for p in roots if not p.exists()]
+    if missing:
+        print(f"lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    violations = lint_tree(roots)
+    for violation in violations:
+        print(violation.format())
+    checked = sum(
+        1 if r.is_file() else len(list(r.rglob("*.py"))) for r in roots
+    )
+    if violations:
+        print(
+            f"lint: {len(violations)} violation(s) in {checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -15,11 +15,11 @@ state, making the re-execution cheap: only ``def`` statements run).
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from types import CodeType
 from typing import Callable, Dict
 
+from ..analysis.sync import TrackedLock
 from ..core.api import FixAPI
 from ..core.errors import CodeletError, FixError, NotAFunctionError
 from ..core.handle import Handle
@@ -76,7 +76,7 @@ class Linker:
 
     def __init__(self, repo: Repository):
         self.repo = repo
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("Linker._lock")
         self._cache: Dict[bytes, LinkedCodelet] = {}
         self.links = 0  # number of cold links performed
 

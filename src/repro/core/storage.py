@@ -13,9 +13,9 @@ recomputed on demand (see :meth:`Repository.forget_data`).
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, Iterator, Optional
 
+from ..analysis.sync import TrackedRLock
 from .data import Blob, Datum, Tree
 from .errors import HandleError, MissingObjectError
 from .handle import Handle
@@ -26,7 +26,7 @@ class Repository:
 
     def __init__(self, name: str = "repo"):
         self.name = name
-        self._lock = threading.RLock()
+        self._lock = TrackedRLock("Repository._lock")
         self._data: Dict[bytes, Datum] = {}
         self._results: Dict[Handle, Handle] = {}
 

@@ -56,7 +56,6 @@ respect to concurrent observations.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -69,6 +68,7 @@ from typing import (
     Tuple,
 )
 
+from ..analysis.sync import TrackedRLock
 from . import costmodel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -185,7 +185,7 @@ class ObjectView:
         self.last_advance: Optional[float] = None
         #: Reentrant so :meth:`price_moves` can hold the lock across the
         #: whole pricing pass while its locations callable re-enters.
-        self._lock = threading.RLock()
+        self._lock = TrackedRLock("ObjectView._lock")
         self._locations: Dict[Hashable, Set[str]] = {}
         #: Inverted index, maintained by every observation: machine ->
         #: names believed held there.

@@ -23,6 +23,7 @@ import threading
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Optional
 
+from ..analysis.sync import TrackedCondition, TrackedLock, note_blocking
 from ..core.errors import FixError
 from ..core.handle import Handle
 
@@ -56,6 +57,12 @@ class Job:
         return self._event.is_set()
 
     def wait(self, timeout: Optional[float] = None) -> bool:
+        if not self._event.is_set():
+            # A genuine block (the result is not in yet): if the caller
+            # holds a tracked lock this is the hold-while-blocking
+            # pattern - waiting on a future that may need that very
+            # lock to complete (PR 4's dispatch wedge).
+            note_blocking("Job.wait")
         return self._event.wait(timeout)
 
     def value(self) -> Handle:
@@ -70,8 +77,8 @@ class JobQueue:
     """Deduplicating, helping-friendly job queue shared by workers."""
 
     def __init__(self):
-        self._lock = threading.Lock()
-        self._cond = threading.Condition(self._lock)
+        self._lock = TrackedLock("JobQueue._lock")
+        self._cond = TrackedCondition(self._lock)
         self._queue: Deque[Job] = deque()
         self._inflight: Dict[Handle, Job] = {}
         self._closed = False

@@ -113,11 +113,16 @@ already agree ships a few dozen bytes, not their inventories.
 from __future__ import annotations
 
 import struct
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..analysis.sync import (
+    TrackedCondition,
+    TrackedLock,
+    TrackedRLock,
+    note_blocking,
+)
 from ..core.errors import FixError, MissingObjectError
 from ..core.handle import HANDLE_BYTES, Handle
 from ..core.minrepo import Footprint, transitive_footprint
@@ -153,7 +158,7 @@ _GOSSIP_PUSH = b"\x12"
 #: pair - without this they each mint a Channel and the pair's frames
 #: split across two sequence spaces, wedging delivery forever.  Held
 #: only around the dict registration, never across wire traffic.
-_TOPOLOGY_LOCK = threading.Lock()
+_TOPOLOGY_LOCK = TrackedLock("net._TOPOLOGY_LOCK")
 
 
 class NetworkError(FixError):
@@ -291,9 +296,12 @@ class Channel:
     bytes_ab: int = 0
     bytes_ba: int = 0
     latency: float = 0.0
-    _cond: threading.Condition = field(
-        default_factory=threading.Condition, repr=False, compare=False
+    _cond: object = field(
+        default_factory=lambda: TrackedCondition(name="Channel._cond"),
+        repr=False,
+        compare=False,
     )
+    _closed: bool = field(default=False, repr=False, compare=False)
     _sent: Dict[str, int] = field(
         default_factory=lambda: {"ab": 0, "ba": 0}, repr=False, compare=False
     )
@@ -318,9 +326,19 @@ class Channel:
         raise NetworkError("sender is not an endpoint of this channel")
 
     def send(self, sender: "FixpointNode", payload: bytes) -> Tuple[bytes, int]:
-        """Put a frame on the wire; returns (wire copy, sequence)."""
+        """Put a frame on the wire; returns (wire copy, sequence).
+
+        Raises :class:`NetworkError` on a closed channel: a frame whose
+        sequence number nobody will ever deliver would wedge the
+        direction, so the failure must be loud and at the send site.
+        """
         with self._cond:
             direction = self._direction(sender)
+            if self._closed:
+                raise NetworkError(
+                    f"channel {self.a.name}<->{self.b.name} is closed: "
+                    f"cannot send from {sender.name}"
+                )
             if direction == "ab":
                 self.bytes_ab += len(payload)
             else:
@@ -341,6 +359,14 @@ class Channel:
     def _await_turn(self, direction: str, seq: int) -> None:
         with self._cond:
             while self._delivered[direction] < seq:
+                if self._closed:
+                    # Close wakes every waiter: a frame parked in the
+                    # delivery window must fail, not sleep forever on a
+                    # predecessor that will never be delivered.
+                    raise NetworkError(
+                        f"channel {self.a.name}<->{self.b.name} closed "
+                        f"while frame {seq} awaited delivery"
+                    )
                 self._cond.wait()
 
     def _release(self, direction: str, seq: int) -> None:
@@ -360,7 +386,24 @@ class Channel:
     def transit(self) -> None:
         """One direction's wire time.  Called off the dispatching thread."""
         if self.latency > 0:
+            # Sleeping while holding a lock is the hold-while-blocking
+            # shape the --race tracker flags; announce the sleep so it
+            # can check the calling thread's held set.
+            note_blocking("Channel.transit")
             time.sleep(self.latency)
+
+    def close(self) -> None:
+        """Tear the link down: subsequent sends raise, parked delivery
+        windows wake with :class:`NetworkError` instead of wedging.
+        Idempotent."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
 
     @property
     def total_bytes(self) -> int:
@@ -455,7 +498,7 @@ class FixpointNode:
         self.gossip_rounds = 0
         #: Serializes dispatch (footprint, send, optimistic view
         #: advance, outstanding bump) against reply bookkeeping.
-        self._lock = threading.RLock()
+        self._lock = TrackedRLock("FixpointNode._lock")
         # Instruments (get-or-create: shared-Obs nodes share families,
         # distinguished by labels).  Live structures - in-flight load,
         # view size, view staleness - are sampled at export via gauge

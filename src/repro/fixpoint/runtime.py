@@ -27,6 +27,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, Optional, Sequence
 
+from ..analysis.sync import TrackedLock, note_blocking
 from ..codelets.linker import Linker
 from ..codelets.stdlib import compile_stdlib
 from ..codelets.toolchain import Toolchain
@@ -96,7 +97,7 @@ class Fixpoint:
             compile_stdlib(self.repo) if with_stdlib else {}
         )
         self._thunk_cache: Dict[Handle, Handle] = {}
-        self._stats_lock = threading.Lock()
+        self._stats_lock = TrackedLock("Fixpoint._stats_lock")
         self._stats = EvalStats()
         self.pool: Optional[JobQueue] = None
         self._threads: list[threading.Thread] = []
@@ -115,6 +116,7 @@ class Fixpoint:
     def close(self) -> None:
         if self.pool is not None:
             self.pool.close()
+            note_blocking("Thread.join")
             for thread in self._threads:
                 thread.join(timeout=2.0)
             self._threads.clear()

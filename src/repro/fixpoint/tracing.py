@@ -29,11 +29,11 @@ shared registry wholesale.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..analysis.sync import TrackedLock
 from ..obs.metrics import MetricsRegistry
 
 
@@ -62,7 +62,7 @@ class Trace:
             else MetricsRegistry(name="fixpoint.trace")
         )
         self.records: List[InvocationRecord] = []
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("Trace._lock")
         self._invocations = self.registry.counter(
             "fixpoint_invocations_total",
             "Codelet invocations by function and worker",

@@ -35,11 +35,11 @@ and label key.
 
 from __future__ import annotations
 
-import threading
 import time
 from bisect import bisect_left
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..analysis.sync import TrackedLock
 from ..core.errors import FixError
 
 Clock = Callable[[], float]
@@ -85,7 +85,7 @@ class Counter:
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("Counter._lock")
         self._series: Dict[LabelKey, float] = {}
 
     def inc(self, value: float = 1.0, **labels: object) -> None:
@@ -146,7 +146,7 @@ class Gauge:
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("Gauge._lock")
         self._series: Dict[LabelKey, float] = {}
         self._fns: Dict[LabelKey, Callable[[], float]] = {}
 
@@ -250,7 +250,7 @@ class Histogram:
         self.help = help
         self.buckets: Tuple[float, ...] = tuple(buckets)
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("Histogram._lock")
         self._series: Dict[LabelKey, _HistogramSeries] = {}
 
     def observe(self, value: float, **labels: object) -> None:
@@ -348,7 +348,7 @@ class MetricsRegistry:
     def __init__(self, name: str = "obs", clock: Clock = time.perf_counter):
         self.name = name
         self.clock = clock
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("MetricsRegistry._lock")
         self._families: Dict[str, object] = {}
 
     # ------------------------------------------------------------------

@@ -28,9 +28,10 @@ from __future__ import annotations
 
 import hashlib
 import struct
-import threading
 import time
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..analysis.sync import TrackedLock
 
 Clock = Callable[[], float]
 
@@ -201,7 +202,7 @@ class Tracer:
         self.dropped = 0
         self._salt = _node_salt(node)
         self._seq = 0
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("Tracer._lock")
         self._spans: List[Span] = []
 
     def _next_id(self) -> int:

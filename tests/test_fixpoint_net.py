@@ -374,3 +374,54 @@ class TestReplyFiltering:
         back = b.delegate("alpha", strict(make_identification(blob)))
         assert b.repo.get_blob(back).data == payload
         assert channel.total_bytes - before < 150  # handles, no payloads
+
+
+class TestChannelClose:
+    def test_send_after_close_raises_with_endpoints_named(self, pair):
+        a, b = pair
+        channel = a.peers["beta"]
+        channel.close()
+        assert channel.closed
+        with pytest.raises(NetworkError, match=r"alpha<->beta is closed"):
+            channel.send(a, b"frame")
+        # delegation over the closed link surfaces the same failure
+        with pytest.raises(NetworkError, match="closed"):
+            a.delegate("beta", add_encode(a, 1, 2))
+
+    def test_close_is_idempotent(self, pair):
+        a, _ = pair
+        channel = a.peers["beta"]
+        channel.close()
+        channel.close()
+        assert channel.closed
+
+    def test_close_wakes_parked_delivery_window(self, pair):
+        """A frame waiting on an undelivered predecessor must fail loudly
+        on close, not sleep forever (the PR-4 wedge shape)."""
+        import threading
+
+        a, _ = pair
+        channel = a.peers["beta"]
+        # Take a sequence number but never deliver it, so the successor
+        # frame parks in its delivery window.
+        channel.send(a, b"frame-k")
+        errors, seqs = [], []
+
+        def deliver_out_of_order():
+            _, seq = channel.send(a, b"frame-k+1")
+            seqs.append(seq)
+            try:
+                with channel.arrival(a, seq):
+                    pass
+            except NetworkError as exc:
+                errors.append(exc)
+
+        waiter = threading.Thread(target=deliver_out_of_order)
+        waiter.start()
+        waiter.join(timeout=0.2)
+        assert waiter.is_alive()  # parked on frame 0's turn
+        channel.close()
+        waiter.join(timeout=2.0)
+        assert not waiter.is_alive()
+        assert len(errors) == 1
+        assert f"closed while frame {seqs[0]} awaited delivery" in str(errors[0])

@@ -14,6 +14,9 @@ import repro
 #: Every module in the package, spelled out so a deletion is a visible
 #: diff here - pkgutil walking below catches *additions* we forgot.
 EXPECTED_MODULES = [
+    "repro.analysis",
+    "repro.analysis.lint",
+    "repro.analysis.sync",
     "repro.baselines",
     "repro.baselines.base",
     "repro.baselines.calibration",
