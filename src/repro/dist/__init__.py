@@ -11,9 +11,13 @@ Five modules, mirroring the paper's distributed design (sections 4.2, 5-6):
   random-peer anti-entropy rounds (O(log n) convergence, O(delta) bytes
   per handshake) plus the digest/delta wire codec the executing
   runtime's GOSSIP frames use;
+* :mod:`repro.dist.membership` - :class:`MembershipView`, SWIM-style
+  gossiped liveness (heartbeats, suspect -> confirm, tombstones) whose
+  confirmations evict a dead node's beliefs and placement candidacy;
 * :mod:`repro.dist.costmodel` - the one placement policy (believed
-  bytes moved, load tiebreak, output hints) shared by the simulated
-  scheduler and the executing runtime in :mod:`repro.fixpoint.net`;
+  bytes moved, load tiebreak, output hints, dead-node exclusion) shared
+  by the simulated scheduler and the executing runtime in
+  :mod:`repro.fixpoint.net`;
 * :mod:`repro.dist.scheduler` - :class:`DataflowScheduler`,
   locality-first placement with load feedback and output-size hints;
 * :mod:`repro.dist.engine` - :class:`FixpointSim`, the distributed
@@ -60,6 +64,12 @@ from .multitenancy import (
     validate_packing,
     validate_timeline,
 )
+from .membership import (
+    Member,
+    MembershipConfig,
+    MembershipError,
+    MembershipView,
+)
 from .objectview import Delta, Digest, ExchangeStats, ObjectView
 from .scheduler import DataflowScheduler, Placement
 
@@ -81,6 +91,10 @@ __all__ = [
     "GossipError",
     "JobGraph",
     "JobTicket",
+    "Member",
+    "MembershipConfig",
+    "MembershipError",
+    "MembershipView",
     "ObjectView",
     "RoundStats",
     "Packing",

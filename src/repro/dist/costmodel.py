@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import (
     Callable,
+    Container,
     Dict,
     Hashable,
     Iterable,
@@ -122,12 +123,21 @@ def choose(
     *,
     output_size: int = 0,
     consumer_location: Optional[str] = None,
+    exclude: Optional[Container[str]] = None,
 ) -> Quote:
     """The shared decision: the cheapest :class:`Quote`.
 
     Minimises ``(priced bytes, load, name)``.  A candidate believed to
     hold *nothing* is still priced (the full footprint), never skipped:
     staleness costs a redundant transfer, not a scheduling failure.
+
+    ``exclude`` is the one exception, and it is about *liveness*, not
+    staleness: membership tombstones (:mod:`repro.dist.membership`)
+    name candidates that are confirmed dead, and pricing a dead machine
+    is not a redundant transfer but a lost delegation.  Keeping the
+    exclusion here - rather than in each caller - preserves the repo's
+    one-placement-policy invariant: the simulated scheduler and the
+    executing runtime drop dead candidates by exactly the same rule.
     """
     quotes: List[Quote] = [
         quote(
@@ -138,6 +148,7 @@ def choose(
             consumer_location=consumer_location,
         )
         for candidate in candidates
+        if exclude is None or candidate not in exclude
     ]
     if not quotes:
         raise SchedulingError("no candidate locations to place on")

@@ -49,6 +49,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..baselines.base import JobRun, Platform
+from ..core.errors import SchedulingError
 from ..baselines.calibration import (
     FIXPOINT_INVOKE,
     INTERNAL_IO_RESUME,
@@ -135,7 +136,20 @@ class FixpointSim(Platform):
                 fanout=gossip.fanout,
                 seed=gossip.seed,
                 obs=self.obs,
+                membership=gossip.membership,
+                suspect_after=gossip.suspect_after,
+                confirm_after=gossip.confirm_after,
             )
+            if gossip.membership:
+                # Placement happens platform-side, so every scheduler
+                # (global and per-job) consults the *scheduler view's*
+                # failure detector: a machine is excluded once the
+                # tombstone has gossiped its way to the scheduler, not
+                # the instant it dies - the detection lag the churn
+                # bench measures.
+                self.scheduler.membership = self.gossip.membership_view(
+                    self.scheduler.view.node
+                )
         self.name = self._ablation_name()
 
     def _ablation_name(self) -> str:
@@ -200,6 +214,7 @@ class FixpointSim(Platform):
             seed=self._seed + job.index,
             outstanding=self.scheduler._outstanding,
             obs=self.obs,
+            membership=self.scheduler.membership,
         )
         # The per-job view dies with the job (no invocation of a
         # finished job can run again); without this, admission-heavy
@@ -208,6 +223,25 @@ class FixpointSim(Platform):
             lambda _event, jid=job.job_id: self._job_schedulers.pop(jid, None)
         )
         return job
+
+    def fail_machine(self, name: str) -> None:
+        """Ground-truth crash of one machine (gossip+membership mode).
+
+        The machine's view stops gossiping and its heartbeat stops;
+        nothing informs the schedulers directly.  Survivors' failure
+        detectors must confirm the death epidemically, after which the
+        scheduler's detector excludes the machine from every placement
+        and its believed holdings are evicted - the bounded detection
+        lag ``bench_churn.py`` asserts on.
+        """
+        if self.gossip is None or not self.gossip.membership_enabled:
+            raise SchedulingError(
+                "fail_machine requires gossip with membership enabled "
+                "(GossipConfig(membership=True))"
+            )
+        if name not in self.machine_views:
+            raise SchedulingError(f"unknown machine {name!r}")
+        self.gossip.kill(name)
 
     def _compute_penalty(self, machine: str) -> float:
         """Context-switch/cache pressure once schedulable > physical cores

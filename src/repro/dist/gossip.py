@@ -38,6 +38,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import FixError
 from ..obs import NULL_OBS, Obs
+from .membership import MembershipView
 from .objectview import Delta, Digest, EMPTY_DIGEST, Entry, ObjectView
 
 _COUNT = struct.Struct("<I")
@@ -163,12 +164,23 @@ class GossipConfig:
     ``rounds_per_output`` run each time an output materializes - the
     aging knob: 0 means the scheduler only ever knows what it saw at
     startup, higher values keep beliefs fresher at more gossip traffic.
+
+    ``membership=True`` turns on the liveness side: every participant
+    keeps a :class:`~repro.dist.membership.MembershipView` that beats,
+    piggybacks on each round's exchanges, and confirms unresponsive
+    nodes dead after ``suspect_after`` + ``confirm_after`` observed
+    rounds - at which point their holdings are evicted from that
+    participant's :class:`ObjectView` and the platform's schedulers
+    stop placing on them.
     """
 
     fanout: int = 1
     startup_rounds: int = 2
     rounds_per_output: int = 1
     seed: int = 0
+    membership: bool = False
+    suspect_after: int = 4
+    confirm_after: int = 4
 
 
 @dataclass(frozen=True)
@@ -180,10 +192,13 @@ class RoundStats:
     digest_bytes: int
     delta_bytes: int
     entries_shipped: int
+    #: Liveness piggyback bytes (0 when membership is off): each
+    #: handshake also swapped both sides' membership maps.
+    membership_bytes: int = 0
 
     @property
     def bytes_shipped(self) -> int:
-        return self.digest_bytes + self.delta_bytes
+        return self.digest_bytes + self.delta_bytes + self.membership_bytes
 
 
 class GossipCoordinator:
@@ -209,6 +224,9 @@ class GossipCoordinator:
         seed: int = 0,
         full_state: bool = False,
         obs: Obs = NULL_OBS,
+        membership: bool = False,
+        suspect_after: int = 4,
+        confirm_after: int = 4,
     ):
         self._views: List[ObjectView] = list(views)
         if fanout < 1:
@@ -217,6 +235,20 @@ class GossipCoordinator:
         self.full_state = full_state
         self.rng = random.Random(seed)
         self.rounds: List[RoundStats] = []
+        #: Ground-truth dead set (:meth:`kill`): these views stop
+        #: participating, and the *survivors'* failure detectors notice
+        #: the silence - nothing here tells them directly.
+        self._dead: Set[str] = set()
+        #: Liveness: one failure detector per participant, piggybacked
+        #: on every exchange.  Each detector's tombstones evict the dead
+        #: node's holdings from its *own* paired ObjectView - beliefs
+        #: die per-observer, epidemically, like they spread.
+        self._suspect_after = suspect_after
+        self._confirm_after = confirm_after
+        self._membership: Dict[str, MembershipView] = {}
+        if membership:
+            for view in self._views:
+                self._enroll(view)
         #: NULL_OBS by default; the simulated platform passes its
         #: sim-clocked obs so round/byte counters land in the same
         #: export as the scheduler's (and stay replay-deterministic).
@@ -249,6 +281,46 @@ class GossipCoordinator:
     def add_view(self, view: ObjectView) -> None:
         """Late joiners participate from the next round on."""
         self._views.append(view)
+        if self._membership:
+            self._enroll(view)
+
+    # ------------------------------------------------------------------
+    # Liveness
+
+    def _enroll(self, view: ObjectView) -> None:
+        self._membership[view.node] = MembershipView(
+            view.node,
+            suspect_after=self._suspect_after,
+            confirm_after=self._confirm_after,
+            on_dead=view.evict,
+        )
+
+    @property
+    def membership_enabled(self) -> bool:
+        return bool(self._membership)
+
+    def membership_view(self, node: str) -> MembershipView:
+        """The failure detector paired with ``node``'s ObjectView."""
+        return self._membership[node]
+
+    def kill(self, node: str) -> None:
+        """Ground truth: ``node`` crashes *now*.
+
+        Its view stops initiating and being chosen, and its heartbeat
+        stops advancing - survivors' detectors must notice the silence
+        through suspect -> confirm, gossip the tombstone, and evict.
+        The rounds-to-no-dead-placement gap is exactly what
+        ``bench_churn.py`` measures.
+        """
+        self._dead.add(node)
+
+    def declared_dead(self, node: str) -> Set[str]:
+        """Which participants have tombstoned ``node`` so far."""
+        return {
+            observer
+            for observer, membership in self._membership.items()
+            if observer not in self._dead and membership.is_dead(node)
+        }
 
     # ------------------------------------------------------------------
 
@@ -278,10 +350,17 @@ class GossipCoordinator:
         active = [
             v
             for v in self._views
-            if participants is None or v.node in participants
+            if (participants is None or v.node in participants)
+            and v.node not in self._dead
         ]
+        if self._membership:
+            # Heartbeats advance once per round a node participates in -
+            # stamped like inventory versions, so the freshest beat wins
+            # any merge.  A killed node's counter simply stops.
+            for view in active:
+                self._membership[view.node].beat()
         pairs: List[Tuple[str, str]] = []
-        digest_bytes = delta_bytes = entries = 0
+        digest_bytes = delta_bytes = entries = membership_bytes = 0
         for view in active:
             peers = [p for p in active if p is not view]
             if not peers:
@@ -293,18 +372,38 @@ class GossipCoordinator:
                 digest_bytes += stats.digest_bytes
                 delta_bytes += stats.delta_bytes
                 entries += stats.entries_shipped
+                if self._membership:
+                    # The liveness piggyback: both maps ride the same
+                    # handshake (in fixpoint.net they ride the SYN/ACK
+                    # frames), merged with the same join algebra.
+                    mine = self._membership[view.node]
+                    theirs = self._membership[peer.node]
+                    membership_bytes += mine.wire_bytes()
+                    membership_bytes += theirs.wire_bytes()
+                    members_out = mine.members()
+                    mine.merge(theirs.members())
+                    theirs.merge(members_out)
+        if self._membership:
+            # One observed round per participant: age records, run the
+            # suspect -> confirm detector.  Confirmations fire on_dead,
+            # which evicts the dead node from the paired ObjectView.
+            for view in active:
+                self._membership[view.node].tick()
         stats = RoundStats(
             index=len(self.rounds),
             pairs=tuple(pairs),
             digest_bytes=digest_bytes,
             delta_bytes=delta_bytes,
             entries_shipped=entries,
+            membership_bytes=membership_bytes,
         )
         self.rounds.append(stats)
         self._m_rounds.inc()
         self._m_exchanges.inc(len(pairs))
         self._m_bytes.inc(digest_bytes, kind="digest")
         self._m_bytes.inc(delta_bytes, kind="delta")
+        if membership_bytes:
+            self._m_bytes.inc(membership_bytes, kind="membership")
         self._m_entries.inc(entries)
         return stats
 
@@ -339,11 +438,16 @@ class GossipCoordinator:
     # ------------------------------------------------------------------
 
     def converged(self) -> bool:
-        """True when every view's belief snapshot is identical."""
-        if len(self._views) < 2:
+        """True when every *surviving* view's belief snapshot agrees.
+
+        Killed views are excluded: they stopped participating, so their
+        beliefs are frozen at death - survivors converge around them.
+        """
+        live = [v for v in self._views if v.node not in self._dead]
+        if len(live) < 2:
             return True
-        first = self._views[0].snapshot()
-        return all(view.snapshot() == first for view in self._views[1:])
+        first = live[0].snapshot()
+        return all(view.snapshot() == first for view in live[1:])
 
     def union_snapshot(self) -> Dict:
         """What a converged group must agree on: the union of beliefs."""

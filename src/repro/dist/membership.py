@@ -1,0 +1,387 @@
+"""Gossiped cluster membership: SWIM-style failure detection + tombstones.
+
+The rest of :mod:`repro.dist` deliberately never *invalidates* a belief:
+:class:`~repro.dist.objectview.ObjectView` staleness costs a redundant
+transfer, not correctness.  Node death breaks that bargain - a dead
+peer's gossiped holdings keep winning placement quotes forever, so one
+crash degrades every future decision.  This module is the liveness side
+of gossip, built so the fix *composes* with the existing anti-entropy
+machinery instead of adding a second protocol:
+
+* every node keeps a **heartbeat counter** stamped exactly like an
+  inventory version: it only ever grows, and the freshest stamp wins a
+  merge - so membership state piggybacks on the same SYN/ACK/PUSH
+  rounds (:meth:`repro.fixpoint.net.FixpointNode.gossip_with`) and
+  :class:`~repro.dist.gossip.GossipCoordinator` rounds that spread
+  inventory, and converges in the same O(log n) epidemic rounds;
+* a node whose heartbeat stops advancing is **suspected** after
+  ``suspect_after`` local observations and **confirmed dead** after
+  ``confirm_after`` more (the SWIM suspect -> confirm split: suspicion
+  gossips onward so a live-but-lagging node can refute it by beating,
+  and only unrefuted suspicion hardens into a tombstone);
+* a **tombstone** (:data:`DEAD`) is the top of the per-node join
+  lattice: it beats any heartbeat, survives any merge order, and is
+  terminal - there is no rejoin without incarnation numbers (the
+  recorded follow-up).  That totality is what makes the merge
+  idempotent, commutative, and associative, so the hypothesis property
+  suite for the inventory delta algebra extends to membership verbatim.
+
+Consumers subscribe with ``on_dead`` callbacks (fired exactly once per
+tombstoned node, outside this view's lock): the gossip coordinator and
+:class:`~repro.fixpoint.net.FixpointNode` use them to evict the dead
+node's beliefs from every :class:`ObjectView`, drop it from placement
+candidates, and close its channels so parked waiters fail fast.
+
+Time here is *logical*: :meth:`MembershipView.tick` advances a local
+observation counter (one per gossip round the node participates in),
+never the wall clock - the module lives in a sim-clocked path and must
+replay deterministically under a seed.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..analysis.sync import TrackedLock
+from ..core.errors import FixError
+
+__all__ = [
+    "ALIVE",
+    "DEAD",
+    "SUSPECT",
+    "Member",
+    "join_members",
+    "MembershipConfig",
+    "MembershipError",
+    "MembershipView",
+    "pack_members",
+    "unpack_members",
+]
+
+#: Member liveness states.  ``ALIVE`` and ``SUSPECT`` are refutable
+#: (a fresher heartbeat wins); ``DEAD`` is the terminal tombstone.
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+_RANK = {ALIVE: 0, SUSPECT: 1, DEAD: 2}
+_BY_RANK = {rank: status for status, rank in _RANK.items()}
+
+_COUNT = struct.Struct("<I")
+_LEN = struct.Struct("<H")
+_U64 = struct.Struct("<Q")
+_STATUS = struct.Struct("<B")
+
+
+class MembershipError(FixError):
+    """Membership failures (bad wire frames, invalid transitions)."""
+
+
+@dataclass(frozen=True)
+class Member:
+    """One node's liveness assertion: ``(node, heartbeat, status)``.
+
+    The heartbeat is the node's own version counter (stamped like an
+    inventory version: bumped by :meth:`MembershipView.beat`, only ever
+    forward).  A suspicion is stamped *at* the heartbeat it doubts, so
+    the suspected node refutes it simply by beating past it.
+    """
+
+    node: str
+    heartbeat: int
+    status: str = ALIVE
+
+    def order_key(self) -> Tuple[int, int, int]:
+        """Total order per node; the merge keeps the max.
+
+        ``DEAD`` sorts above every live stamp regardless of heartbeat
+        (a tombstone is terminal - no heartbeat refutes it); among live
+        stamps the fresher heartbeat wins, and at equal heartbeats the
+        doubt wins (``SUSPECT`` > ``ALIVE``), which is what lets an
+        unrefuted suspicion spread instead of being shouted down by
+        stale optimism.
+        """
+        if self.status == DEAD:
+            return (1, self.heartbeat, _RANK[DEAD])
+        return (0, self.heartbeat, _RANK[self.status])
+
+    @property
+    def is_dead(self) -> bool:
+        return self.status == DEAD
+
+    def wire_bytes(self) -> int:
+        """Bytes this entry occupies in :func:`pack_members`."""
+        return _LEN.size + len(self.node.encode("utf-8")) + _U64.size + 1
+
+
+def join_members(a: Member, b: Member) -> Member:
+    """The merge: the greater assertion under :meth:`Member.order_key`.
+
+    A total order per node makes this an idempotent, commutative,
+    associative join - the same algebra the inventory delta merge has,
+    so epidemic spread converges regardless of delivery order or
+    duplication (property-tested in tests/test_properties.py).
+    """
+    if a.node != b.node:
+        raise MembershipError(
+            f"cannot join membership entries for {a.node!r} and {b.node!r}"
+        )
+    return b if b.order_key() > a.order_key() else a
+
+
+# ----------------------------------------------------------------------
+# Wire codec (piggybacked on the gossip SYN/ACK frames in fixpoint.net)
+
+
+def pack_members(members: Iterable[Member]) -> bytes:
+    """``[u32 count]`` then per member ``[u16 len][node][u64 hb][u8 st]``."""
+    entries = sorted(members, key=lambda m: m.node)
+    parts = [_COUNT.pack(len(entries))]
+    for member in entries:
+        raw = member.node.encode("utf-8")
+        parts.append(
+            _LEN.pack(len(raw))
+            + raw
+            + _U64.pack(member.heartbeat)
+            + _STATUS.pack(_RANK[member.status])
+        )
+    return b"".join(parts)
+
+
+def unpack_members(raw: bytes, offset: int = 0) -> Tuple[Tuple[Member, ...], int]:
+    (count,) = _COUNT.unpack_from(raw, offset)
+    offset += _COUNT.size
+    members: List[Member] = []
+    for _ in range(count):
+        (length,) = _LEN.unpack_from(raw, offset)
+        offset += _LEN.size
+        node = raw[offset : offset + length].decode("utf-8")
+        offset += length
+        (heartbeat,) = _U64.unpack_from(raw, offset)
+        offset += _U64.size
+        (rank,) = _STATUS.unpack_from(raw, offset)
+        offset += _STATUS.size
+        status = _BY_RANK.get(rank)
+        if status is None:
+            raise MembershipError(f"bad membership status byte {rank}")
+        members.append(Member(node, heartbeat, status))
+    return tuple(members), offset
+
+
+@dataclass(frozen=True)
+class MembershipConfig:
+    """Failure-detector thresholds, in *observed gossip rounds*.
+
+    ``suspect_after`` rounds without a heartbeat advance mark a node
+    suspect; ``confirm_after`` further rounds of unrefuted suspicion
+    confirm it dead.  Both must exceed the epidemic propagation age
+    (~ceil(log2 n) rounds at fanout 1) or a live-but-lagging node's
+    suspicion can harden before its refuting beat arrives.
+    """
+
+    suspect_after: int = 4
+    confirm_after: int = 4
+
+
+class MembershipView:
+    """One node's gossiped belief about who is alive.
+
+    Thread-safe the same way :class:`ObjectView` is: every public
+    method holds the view's lock, and ``on_dead`` callbacks fire
+    *outside* it (they close channels and take other locks).  Each
+    tombstoned node fires the callbacks exactly once per view, no
+    matter how many merges re-deliver the tombstone.
+    """
+
+    def __init__(
+        self,
+        node: str,
+        suspect_after: int = 4,
+        confirm_after: int = 4,
+        on_dead: Optional[Callable[[str], None]] = None,
+    ):
+        self.node = node
+        self.suspect_after = suspect_after
+        self.confirm_after = confirm_after
+        self._lock = TrackedLock("MembershipView._lock")
+        self._members: Dict[str, Member] = {node: Member(node, 1, ALIVE)}
+        #: Local logical clock: one tick per observed gossip round.
+        self._ticks = 0
+        #: Tick at which each node's record last *changed* - the
+        #: staleness the detector ages against.
+        self._since: Dict[str, int] = {node: 0}
+        self._announced: Set[str] = set()
+        self._callbacks: List[Callable[[str], None]] = (
+            [on_dead] if on_dead is not None else []
+        )
+
+    def on_dead(self, callback: Callable[[str], None]) -> None:
+        """Subscribe to tombstone transitions (fired outside the lock)."""
+        with self._lock:
+            self._callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def heartbeat(self, node: Optional[str] = None) -> int:
+        with self._lock:
+            member = self._members.get(node or self.node)
+            return member.heartbeat if member is not None else 0
+
+    def status(self, node: str) -> Optional[str]:
+        with self._lock:
+            member = self._members.get(node)
+            return member.status if member is not None else None
+
+    def is_dead(self, node: str) -> bool:
+        with self._lock:
+            member = self._members.get(node)
+            return member is not None and member.is_dead
+
+    def dead_nodes(self) -> Set[str]:
+        """Every tombstoned node - the placement exclusion set."""
+        with self._lock:
+            return {n for n, m in self._members.items() if m.is_dead}
+
+    def live_nodes(self) -> Set[str]:
+        with self._lock:
+            return {n for n, m in self._members.items() if not m.is_dead}
+
+    def members(self) -> Tuple[Member, ...]:
+        """The full map, for piggybacking on a gossip frame.
+
+        Membership is O(nodes), not O(objects), so unlike inventory it
+        ships whole every round - a few dozen bytes buys idempotent
+        convergence with no digest bookkeeping.
+        """
+        with self._lock:
+            return tuple(
+                self._members[node] for node in sorted(self._members)
+            )
+
+    def wire_bytes(self) -> int:
+        with self._lock:
+            return _COUNT.size + sum(
+                m.wire_bytes() for m in self._members.values()
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._members)
+
+    # ------------------------------------------------------------------
+    # Local transitions
+
+    def beat(self) -> int:
+        """Advance this node's own heartbeat (once per gossip round).
+
+        A tombstoned self stays tombstoned: without incarnation numbers
+        a node that the cluster declared dead cannot rejoin - it keeps
+        running, but every peer ignores it (the recorded follow-up).
+        """
+        with self._lock:
+            return self._beat_locked()
+
+    def _beat_locked(self) -> int:
+        me = self._members[self.node]
+        if me.is_dead:
+            return me.heartbeat
+        self._store(Member(self.node, me.heartbeat + 1, ALIVE))
+        return me.heartbeat + 1
+
+    def suspect(self, node: str) -> None:
+        """Direct evidence of trouble (a failed send, a refused dial).
+
+        Records suspicion at the node's currently-believed heartbeat, so
+        a fresher beat arriving later still refutes it.  Unknown nodes
+        are ignored (nothing to suspect), and tombstones are final.
+        """
+        with self._lock:
+            member = self._members.get(node)
+            if member is None or member.is_dead or node == self.node:
+                return
+            self._store(join_members(member, Member(node, member.heartbeat, SUSPECT)))
+
+    def declare_dead(self, node: str) -> None:
+        """Tombstone ``node`` outright (ground-truth kill in tests, or an
+        operator decision); fires ``on_dead`` like any confirmation."""
+        with self._lock:
+            member = self._members.get(node)
+            heartbeat = member.heartbeat if member is not None else 0
+            newly_dead = self._store(Member(node, heartbeat, DEAD))
+        self._fire(newly_dead)
+
+    def _store(self, member: Member) -> List[str]:
+        """Write one record (lock held); returns nodes newly tombstoned."""
+        current = self._members.get(member.node)
+        merged = member if current is None else join_members(current, member)
+        if current is not None and merged == current:
+            return []
+        self._members[member.node] = merged
+        self._since[member.node] = self._ticks
+        if merged.is_dead and merged.node not in self._announced:
+            self._announced.add(merged.node)
+            return [merged.node]
+        return []
+
+    # ------------------------------------------------------------------
+    # Merge (the gossip piggyback) and detection
+
+    def merge(self, members: Iterable[Member]) -> int:
+        """Join a peer's membership map into this one; returns how many
+        records changed.  Idempotent by the lattice: replaying a map
+        changes nothing.  A suspicion *about this node* is refuted on
+        the spot by beating past it - the SWIM self-defense."""
+        newly_dead: List[str] = []
+        with self._lock:
+            applied = 0
+            for member in members:
+                before = self._members.get(member.node)
+                dead = self._store(member)
+                newly_dead.extend(dead)
+                if self._members[member.node] != before:
+                    applied += 1
+            me = self._members[self.node]
+            if me.status == SUSPECT:
+                self._beat_locked()
+        self._fire(newly_dead)
+        return applied
+
+    def tick(self) -> List[str]:
+        """One observed gossip round: age every record, run detection.
+
+        A node whose record has not changed in ``suspect_after`` ticks
+        is suspected (the suspicion gossips onward from the next
+        :meth:`members` snapshot); a suspicion unrefuted for
+        ``confirm_after`` more ticks hardens into a tombstone.  Returns
+        the nodes newly confirmed dead.
+        """
+        newly_dead: List[str] = []
+        with self._lock:
+            self._ticks += 1
+            for node, member in list(self._members.items()):
+                if node == self.node or member.is_dead:
+                    continue
+                age = self._ticks - self._since.get(node, 0)
+                if member.status == ALIVE and age >= self.suspect_after:
+                    self._store(Member(node, member.heartbeat, SUSPECT))
+                elif member.status == SUSPECT and age >= self.confirm_after:
+                    newly_dead.extend(
+                        self._store(Member(node, member.heartbeat, DEAD))
+                    )
+        self._fire(newly_dead)
+        return newly_dead
+
+    def _fire(self, newly_dead: List[str]) -> None:
+        """Run ``on_dead`` subscribers outside the lock: they evict
+        views, close channels, and unregister directories - all of
+        which take their own locks."""
+        if not newly_dead:
+            return
+        with self._lock:
+            callbacks = list(self._callbacks)
+        for node in newly_dead:
+            for callback in callbacks:
+                callback(node)

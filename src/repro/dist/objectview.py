@@ -30,8 +30,23 @@ Retraction (:meth:`forget`) is deliberately local-only: it removes the
 belief *and its logged stamps* so a rolled-back optimistic advance is
 never gossiped onward, but it ships no tombstones - a peer that already
 merged the entry keeps believing it, which at worst prices a redundant
-transfer.  (Gossiped membership churn / node death is the recorded
-follow-up in ROADMAP.md.)
+transfer.  Node *death* is different: a dead machine's holdings are not
+stale, they are gone, and keeping them poisons every future placement.
+:meth:`evict` is the membership-driven retraction
+(:mod:`repro.dist.membership` tombstones feed it): it purges every
+belief about the dead location - maps, logs, and stamps - and gates
+:meth:`learn`/:meth:`merge_delta` so late-arriving gossip cannot
+resurrect them, while *keeping* the version caps so peers never re-send
+what this view deliberately dropped.  The tombstone thus shadows the
+holdings it evicts regardless of delivery order (property-tested).
+
+Long-lived views also :meth:`compact`: within one origin's log, only
+the *latest* entry per ``(name, location)`` carries current belief, so
+superseded entries can be dropped without changing what any delta
+conveys (the caps cover the dropped versions, and ascending order is
+preserved - a subsequence of an ascending list is ascending).
+Compaction triggers automatically once the log outgrows the live belief
+set, which is what keeps view memory bounded under churn.
 
 Crucially the view is *never invalidated*: a replica created after the
 last observation is simply unknown, and :meth:`bytes_missing` prices a
@@ -203,6 +218,14 @@ class ObjectView:
         self._vector: Dict[str, int] = {}
         self._log: Dict[str, List[Tuple[int, Hashable, str, Optional[int]]]] = {}
         self._stamps: Dict[Tuple[Hashable, str], List[Tuple[str, int]]] = {}
+        #: Tombstoned locations (membership-confirmed dead): beliefs
+        #: about them are purged and can never be re-learned.
+        self._evicted: Set[str] = set()
+        #: Log bookkeeping for bounded growth: entry count maintained
+        #: across record/forget/evict/compact, and how many compactions
+        #: have run (a stats gauge the churn bench asserts on).
+        self._log_total = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------
     # Observation
@@ -221,6 +244,8 @@ class ObjectView:
         gossip wire.
         """
         with self._lock:
+            if location in self._evicted:
+                return  # tombstoned: the location is gone, not stale
             locations = self._locations.setdefault(name, set())
             already_known = location in locations
             size_is_news = size is not None and self._sizes.get(name) != size
@@ -252,6 +277,13 @@ class ObjectView:
         self._vector[origin] = max(self._vector.get(origin, 0), version)
         self._log.setdefault(origin, []).append((version, name, location, size))
         self._stamps.setdefault((name, location), []).append((origin, version))
+        self._log_total += 1
+        # Bounded growth: once the log clearly outweighs the live belief
+        # set (superseded re-learns, churned replicas), fold it down.
+        if self._log_total >= 64 and self._log_total > 4 * max(
+            1, len(self._stamps)
+        ):
+            self._compact_locked()
 
     def forget(self, name: Hashable, location: str) -> None:
         """Retract the belief that ``location`` holds ``name``.
@@ -284,9 +316,11 @@ class ObjectView:
             if own_versions:
                 log = self._log.get(self.node)
                 if log:
-                    self._log[self.node] = [
+                    kept = [
                         entry for entry in log if entry[0] not in own_versions
                     ]
+                    self._log_total -= len(log) - len(kept)
+                    self._log[self.node] = kept
             foreign = [
                 stamp for stamp in stamps if stamp[0] != self.node
             ]
@@ -304,6 +338,53 @@ class ObjectView:
             held = self._holdings.get(location)
             if held is not None:
                 held.discard(name)
+
+    def evict(self, location: str) -> int:
+        """Tombstone ``location``: purge every belief about it, forever.
+
+        The membership-driven retraction (a confirmed-dead node from
+        :mod:`repro.dist.membership`): unlike :meth:`forget`, which
+        rolls back one optimistic assertion, eviction removes the
+        location from the forward map, the holdings index, the
+        anti-entropy *logs of every origin* (so it is never gossiped
+        onward from here), and gates :meth:`learn`/:meth:`merge_delta`
+        so late-arriving entries about it are dropped on the floor -
+        the tombstone shadows the holdings regardless of delivery
+        order.  Version caps are deliberately kept: this view still
+        *covers* the purged versions, so no peer ever re-sends them.
+
+        Sizes are kept (per-object knowledge, true regardless of which
+        replica died).  Returns how many name-beliefs were purged;
+        idempotent - a second eviction returns 0.
+        """
+        with self._lock:
+            if location in self._evicted:
+                return 0
+            self._evicted.add(location)
+            names = self._holdings.pop(location, set())
+            for name in names:
+                locations = self._locations.get(name)
+                if locations is not None:
+                    locations.discard(location)
+                    if not locations:
+                        del self._locations[name]
+            for origin, log in self._log.items():
+                kept = [entry for entry in log if entry[2] != location]
+                if len(kept) != len(log):
+                    self._log_total -= len(log) - len(kept)
+                    self._log[origin] = kept
+            for key in [k for k in self._stamps if k[1] == location]:
+                del self._stamps[key]
+            return len(names)
+
+    def is_evicted(self, location: str) -> bool:
+        with self._lock:
+            return location in self._evicted
+
+    def evicted(self) -> Set[str]:
+        """Tombstoned locations (a copy) - the placement exclusion set."""
+        with self._lock:
+            return set(self._evicted)
 
     def where(self, name: Hashable) -> Set[str]:
         """Believed replica locations (empty set when unknown)."""
@@ -380,6 +461,8 @@ class ObjectView:
                 ),
                 "log_entries": sum(len(log) for log in self._log.values()),
                 "origins": len(self._vector),
+                "evicted": len(self._evicted),
+                "compactions": self._compactions,
             }
 
     # ------------------------------------------------------------------
@@ -403,6 +486,49 @@ class ObjectView:
 
     # ------------------------------------------------------------------
     # Anti-entropy: digest, delta, merge
+
+    def compact(self) -> int:
+        """Fold each origin's log down to its current-belief entries.
+
+        Within one origin's ascending log, only the *latest* entry per
+        ``(name, location)`` carries that origin's current assertion -
+        earlier entries are superseded, and every delta that would have
+        shipped them also ships the cap that covers them, so dropping
+        them changes no receiver's final state (property-tested:
+        compaction is transparent to the merge algebra).  Keeping a
+        subsequence preserves ascending order, so :meth:`delta_since`'s
+        binary search stays valid.  Returns entries dropped.
+        """
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
+        dropped = 0
+        for origin, log in self._log.items():
+            if len(log) <= 1:
+                continue
+            latest: Dict[Tuple[Hashable, str], int] = {}
+            for index, (_version, name, location, _size) in enumerate(log):
+                latest[(name, location)] = index
+            if len(latest) == len(log):
+                continue
+            keep = set(latest.values())
+            self._log[origin] = [
+                entry for index, entry in enumerate(log) if index in keep
+            ]
+            dropped += len(log) - len(keep)
+        if dropped:
+            self._log_total -= dropped
+            self._compactions += 1
+            # Stamps mirror the log; rebuild them from what survived.
+            stamps: Dict[Tuple[Hashable, str], List[Tuple[str, int]]] = {}
+            for origin, log in self._log.items():
+                for version, name, location, _size in log:
+                    stamps.setdefault((name, location), []).append(
+                        (origin, version)
+                    )
+            self._stamps = stamps
+        return dropped
 
     def digest(self) -> Digest:
         """This view's coverage summary: origin -> highest version seen.
@@ -459,6 +585,11 @@ class ObjectView:
             for origin, version, name, location, size in delta.entries:
                 if version <= self._vector.get(origin, 0):
                     continue  # already covered: idempotence
+                if location in self._evicted:
+                    # Tombstone shadows the entry: drop the belief but
+                    # let the caps below advance coverage past it, so
+                    # the sender never re-offers it either.
+                    continue
                 locations = self._locations.setdefault(name, set())
                 locations.add(location)
                 self._holdings.setdefault(location, set()).add(name)

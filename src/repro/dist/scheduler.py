@@ -31,6 +31,7 @@ from ..core.errors import SchedulingError
 from ..obs import NULL_OBS, Obs
 from .costmodel import choose
 from .graph import TaskSpec
+from .membership import MembershipView
 from .objectview import ObjectView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -60,9 +61,16 @@ class DataflowScheduler:
         seed: int = 0,
         outstanding: Optional[Dict[str, int]] = None,
         obs: Obs = NULL_OBS,
+        membership: Optional[MembershipView] = None,
     ):
         self.cluster = cluster
         self.view = view
+        #: Liveness beliefs: when wired (FixpointSim under gossip with
+        #: membership on), confirmed-dead machines are excluded from
+        #: every placement - in the locality path via
+        #: ``costmodel.choose(exclude=...)``, and in the random-ablation
+        #: path by filtering before the draw.
+        self.membership = membership
         self.locality = locality
         self.use_hints = use_hints
         self.rng = random.Random(seed)
@@ -130,8 +138,20 @@ class DataflowScheduler:
             missing = self.view.bytes_missing_many(
                 self.cluster, task.inputs, self._machines
             )
+            dead = (
+                self.membership.dead_nodes()
+                if self.membership is not None
+                else None
+            )
             if not self.locality:
-                machine = self.rng.choice(self._machines)
+                live = (
+                    self._machines
+                    if not dead
+                    else [m for m in self._machines if m not in dead]
+                )
+                if not live:
+                    raise SchedulingError("every machine is confirmed dead")
+                machine = self.rng.choice(live)
                 placement = Placement(
                     task=task.name,
                     machine=machine,
@@ -146,6 +166,7 @@ class DataflowScheduler:
                     consumer_location=(
                         consumer_location if self.use_hints else None
                     ),
+                    exclude=dead,
                 )
                 placement = Placement(
                     task=task.name,

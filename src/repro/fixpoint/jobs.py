@@ -20,6 +20,7 @@ model's ``outstanding`` signal describes.  Tasks are not deduplicated
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Optional
 
@@ -123,10 +124,22 @@ class JobQueue:
             return None
 
     def pop(self, timeout: float = 0.1) -> Optional[Job]:
-        """Blocking pop with timeout, used by worker loops."""
+        """Blocking pop with timeout, used by worker loops.
+
+        The wait is a *deadline* loop: ``Condition.wait(timeout)`` can
+        return early on a notify that another consumer races to the
+        item, and treating one wakeup as the whole timeout made a
+        worker's idle poll return ``None`` after an arbitrarily small
+        fraction of its budget (under-waiting the worker loop into a
+        busy spin).  Each spurious wakeup re-waits only the remainder.
+        """
         with self._cond:
-            if not self._queue and not self._closed:
-                self._cond.wait(timeout)
+            deadline = time.monotonic() + timeout
+            while not self._queue and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
             if self._queue:
                 return self._queue.popleft()
             return None

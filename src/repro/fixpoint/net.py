@@ -108,6 +108,25 @@ nodes and delegation dials them on demand (:meth:`FixpointNode.connect`
 is itself just channel setup plus one gossip round).  Converged peers
 exchange digests and empty deltas - a handshake between nodes that
 already agree ships a few dozen bytes, not their inventories.
+
+**Membership.**  The SYN and ACK frames additionally piggyback each
+side's :class:`~repro.dist.membership.MembershipView` map (heartbeat
+counters stamped like inventory versions, merged with the same
+idempotent join algebra), so liveness spreads on exactly the traffic
+that spreads inventory.  :meth:`FixpointNode.gossip_sweep` is one
+failure-detector round: gossip with every live peer, record a
+suspicion for any that fail at the transport, age the detector one
+tick.  A peer whose silence outlives suspect + confirm thresholds is
+tombstoned, and the node reacts (:meth:`FixpointNode._on_peer_dead`,
+fired outside every lock): the dead peer's beliefs are evicted from
+the view, its channel is closed - waking frames parked in delivery
+windows and callers blocked in :meth:`Channel.transit` with a
+:class:`NetworkError` naming the dead endpoint - and its directory
+entry is unregistered so gossip-learned names stop resolving to a
+corpse.  In-flight :class:`Delegation` futures to the dead peer fail
+fast through the same channel-close path, roll back their optimistic
+view advance, and :meth:`FixpointNode.retry_elsewhere` re-quotes and
+re-dispatches the work on the survivors.
 """
 
 from __future__ import annotations
@@ -134,6 +153,11 @@ from ..dist.gossip import (
     pack_digest,
     unpack_delta,
     unpack_digest,
+)
+from ..dist.membership import (
+    MembershipView,
+    pack_members,
+    unpack_members,
 )
 from ..dist.objectview import ObjectView
 from ..obs import NULL_CONTEXT, Obs, SpanContext
@@ -234,6 +258,12 @@ class NodeDirectory:
 
     def register(self, node: "FixpointNode") -> None:
         self._nodes[node.name] = node
+
+    def unregister(self, name: str) -> None:
+        """Drop a (dead) node: gossip-learned names stop resolving to
+        it, so placement stops dialing a corpse.  Idempotent - several
+        survivors' detectors may confirm the same death."""
+        self._nodes.pop(name, None)
 
     def get(self, name: str) -> Optional["FixpointNode"]:
         return self._nodes.get(name)
@@ -384,13 +414,34 @@ class Channel:
                 self._cond.notify_all()
 
     def transit(self) -> None:
-        """One direction's wire time.  Called off the dispatching thread."""
-        if self.latency > 0:
-            # Sleeping while holding a lock is the hold-while-blocking
-            # shape the --race tracker flags; announce the sleep so it
-            # can check the calling thread's held set.
-            note_blocking("Channel.transit")
-            time.sleep(self.latency)
+        """One direction's wire time.  Called off the dispatching thread.
+
+        The wait is interruptible: :meth:`close` (membership eviction, a
+        crashed endpoint) wakes it mid-flight with a :class:`NetworkError`
+        naming the endpoints, instead of sleeping out the full latency
+        on a link that no longer exists.  Implemented as a deadline loop
+        on the channel condition - ``wait(timeout)`` may return early on
+        any notify, so each wakeup re-checks closed and re-waits only
+        the remainder.
+        """
+        if self.latency <= 0:
+            return
+        # Waiting out wire time while holding a lock is the
+        # hold-while-blocking shape the --race tracker flags; announce
+        # the block so it can check the calling thread's held set.
+        note_blocking("Channel.transit")
+        deadline = time.monotonic() + self.latency
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise NetworkError(
+                        f"channel {self.a.name}<->{self.b.name} closed "
+                        "while a frame was in transit"
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                self._cond.wait(remaining)
 
     def close(self) -> None:
         """Tear the link down: subsequent sends raise, parked delivery
@@ -426,14 +477,27 @@ class Delegation:
     result/error/event implementation in the package; this class adds
     only the delegation identity and the timeout-to-:class:`NetworkError`
     translation.
+
+    Every delegation settles its caller-side bookkeeping (the per-peer
+    ``outstanding`` count, and - on failure - the rollback of the
+    optimistic view advance for the shipped keys) **exactly once**,
+    through a one-shot closure armed at dispatch.  The serving thread
+    settles it on completion; :meth:`cancel` (or a :meth:`result`
+    timeout) settles it from the caller's side when the caller stops
+    waiting.  Whichever side loses the race becomes a no-op, so a hung
+    peer can no longer leak phantom in-flight load and falsely-believed
+    shipped keys forever - the bug this settle path fixes.
     """
 
-    __slots__ = ("peer", "encode", "_job")
+    __slots__ = ("peer", "encode", "_job", "_settler")
 
     def __init__(self, peer: str, encode: Handle):
         self.peer = peer
         self.encode = encode
         self._job = Job(encode)
+        #: One-shot settle closure (armed by ``FixpointNode._dispatch``):
+        #: ``settler(rollback) -> bool``, True only for the first caller.
+        self._settler = None
 
     @property
     def done(self) -> bool:
@@ -442,12 +506,49 @@ class Delegation:
     def wait(self, timeout: Optional[float] = None) -> bool:
         return self._job.wait(timeout)
 
-    def result(self, timeout: Optional[float] = None) -> Handle:
-        """Block until resolved; return (or raise) the outcome."""
-        if not self._job.wait(timeout):
-            raise NetworkError(
-                f"delegation to {self.peer!r} timed out after {timeout}s"
+    def cancel(self) -> bool:
+        """Abandon this delegation from the caller's side.
+
+        Settles the dispatch bookkeeping - drops the peer's outstanding
+        count and rolls back the optimistic view advance for every key
+        shipped - and fails the future with :class:`NetworkError`.
+        Returns True if this call did the settling; False when the
+        delegation already resolved (or another canceller won), in
+        which case nothing changes.  The peer may still finish serving
+        the abandoned request; a late reply is absorbed as ordinary
+        (true) belief but no longer touches the settled bookkeeping.
+        """
+        if self._settler is None or self._job.done:
+            return False
+        if not self._settler(True):
+            return False
+        self._job.fail(
+            NetworkError(
+                f"delegation to {self.peer!r} was cancelled by the caller"
             )
+        )
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> Handle:
+        """Block until resolved; return (or raise) the outcome.
+
+        A timeout **cancels** the delegation: the optimistic view
+        advance is rolled back and the peer's in-flight count dropped
+        before the :class:`NetworkError` raises - a hung peer must not
+        keep phantom load and false shipped-key beliefs alive forever.
+        If the reply lands in the instant between the timeout and the
+        cancellation, the race is benign: the settled side wins, and
+        the freshly-arrived result is returned instead of the error.
+        """
+        if not self._job.wait(timeout):
+            if self.cancel():
+                raise NetworkError(
+                    f"delegation to {self.peer!r} timed out after "
+                    f"{timeout}s (rolled back)"
+                )
+            # Lost the race: the serving thread settled first, so its
+            # resolution (result or failure) is imminent - wait it in.
+            self._job.wait()
         return self._job.value()
 
     def _complete(self, result: Handle) -> None:
@@ -466,6 +567,8 @@ class FixpointNode:
         workers: int = 0,
         directory: Optional[NodeDirectory] = None,
         obs: Optional[Obs] = None,
+        suspect_after: int = 3,
+        confirm_after: int = 3,
     ):
         self.name = name
         #: Observability: metrics registry + tracer.  Each node gets its
@@ -488,6 +591,16 @@ class FixpointNode:
         self.directory = directory
         if directory is not None:
             directory.register(self)
+        #: Gossiped liveness: heartbeats piggyback on the SYN/ACK
+        #: frames, :meth:`gossip_sweep` runs the suspect -> confirm
+        #: detector, and a confirmed death fires :meth:`_on_peer_dead`
+        #: (outside the membership lock) to evict, close, unregister.
+        self.membership = MembershipView(
+            name,
+            suspect_after=suspect_after,
+            confirm_after=confirm_after,
+            on_dead=self._on_peer_dead,
+        )
         #: In-flight delegations per peer - the load signal the cost
         #: model spreads equal-price candidates with.  Raised at
         #: dispatch, lowered when the reply has been absorbed, so it is
@@ -525,6 +638,14 @@ class FixpointNode:
         self._m_rollbacks = registry.counter(
             "delegation_rollbacks_total",
             "Failed delegations whose optimistic view advance was rolled back",
+        )
+        self._m_evictions = registry.counter(
+            "membership_evictions_total",
+            "Peers confirmed dead and evicted from the view",
+        )
+        self._m_retries = registry.counter(
+            "delegation_retries_total",
+            "Failed delegations re-quoted and re-dispatched on survivors",
         )
         self._m_gossip_rounds = registry.counter(
             "gossip_rounds_total", "Anti-entropy rounds by peer and role"
@@ -566,6 +687,44 @@ class FixpointNode:
 
     def close(self) -> None:
         self.runtime.close()
+
+    def crash(self) -> None:
+        """Simulate abrupt death: every link drops, the pool stops.
+
+        Closing the channels is what makes the death *observable*:
+        peers' sends raise, frames parked in delivery windows and
+        callers waiting out :meth:`Channel.transit` wake with
+        :class:`NetworkError`, and subsequent :meth:`gossip_sweep`
+        attempts fail at the transport and feed the failure detector.
+        Nothing is announced - survivors must detect the silence.
+        """
+        for channel in list(self.peers.values()):
+            channel.close()
+        self.runtime.close()
+
+    def _on_peer_dead(self, peer_name: str) -> None:
+        """React to a membership tombstone for ``peer_name``.
+
+        Runs outside the membership lock (it takes the view's and the
+        channel's own locks): evict every belief about the dead peer
+        from the view - tombstone-gated, so late gossip cannot
+        resurrect them - close and drop its channel so parked waiters
+        fail fast naming the dead endpoint, and unregister it from the
+        directory so gossip-learned names stop dialing it.  The
+        ``outstanding`` entry is kept (in-flight delegations still
+        settle through it); placement ignores dead candidates anyway.
+        """
+        evicted = self.view.evict(peer_name)
+        self._m_evictions.inc(peer=peer_name)
+        with _TOPOLOGY_LOCK:
+            channel = self.peers.pop(peer_name, None)
+        if channel is not None:
+            channel.close()
+        if self.directory is not None:
+            self.directory.unregister(peer_name)
+        self.obs.tracer.start(
+            "membership.evict", peer=peer_name
+        ).set(beliefs_evicted=evicted).finish()
 
     def __enter__(self) -> "FixpointNode":
         return self
@@ -619,7 +778,13 @@ class FixpointNode:
 
     def _ensure_channel(self, peer_name: str) -> Channel:
         """A live channel to ``peer_name``, dialing through the
-        directory when the name was learned only via gossip."""
+        directory when the name was learned only via gossip.  A peer
+        this node's detector has confirmed dead is refused outright -
+        failing fast with the death named beats dialing a corpse."""
+        if self.membership.is_dead(peer_name):
+            raise NetworkError(
+                f"{self.name}: peer {peer_name!r} is confirmed dead"
+            )
         channel = self.peers.get(peer_name)
         if channel is not None:
             return channel
@@ -654,6 +819,11 @@ class FixpointNode:
             raise NetworkError(f"{self.name}: no peer named {peer_name!r}")
         peer = self._peer(peer_name)
         self._refresh_self()
+        # Liveness piggyback: the heartbeat advances with every round
+        # this node initiates, and the whole membership map rides the
+        # SYN (and the peer's rides the ACK back) - O(nodes) bytes on
+        # traffic that is already crossing the wire.
+        self.membership.beat()
         span = self.obs.tracer.start("gossip.round", peer=peer_name)
         sender = self.name.encode("utf-8")
         syn = (
@@ -662,6 +832,7 @@ class FixpointNode:
             + sender
             + span.context.pack()
             + pack_digest(self.view.digest())
+            + pack_members(self.membership.members())
         )
         wire, seq = channel.send(self, syn)
         with self._m_transit.time(peer=peer_name):
@@ -677,8 +848,10 @@ class FixpointNode:
                 )
             _serve_ctx, offset = SpanContext.unpack(ack_wire, 1)
             peer_digest, offset = unpack_digest(ack_wire, offset)
-            delta_in, _ = unpack_delta(ack_wire, offset)
+            delta_in, offset = unpack_delta(ack_wire, offset)
+            peer_members, _ = unpack_members(ack_wire, offset)
             self.view.merge_delta(delta_in)
+            self.membership.merge(peer_members)
         delta_out = self.view.delta_since(peer_digest)
         push = (
             _GOSSIP_PUSH
@@ -723,8 +896,13 @@ class FixpointNode:
         offset = 1 + _SENDER_LEN.size
         sender = wire[offset : offset + sender_len].decode("utf-8")
         ctx, offset = SpanContext.unpack(wire, offset + sender_len)
-        digest, _ = unpack_digest(wire, offset)
+        digest, offset = unpack_digest(wire, offset)
+        caller_members, _ = unpack_members(wire, offset)
         self._refresh_self()
+        # Serving a round is as alive as initiating one: beat, join the
+        # caller's liveness map, and ship the merged map back on the ACK.
+        self.membership.beat()
+        self.membership.merge(caller_members)
         span = self.obs.tracer.start("gossip.serve", parent=ctx, peer=sender)
         delta = self.view.delta_since(digest)
         span.set(entries_out=len(delta)).finish()
@@ -733,6 +911,7 @@ class FixpointNode:
             + span.context.pack()
             + pack_digest(self.view.digest())
             + pack_delta(delta)
+            + pack_members(self.membership.members())
         )
         with self._lock:
             self.gossip_rounds += 1
@@ -754,6 +933,30 @@ class FixpointNode:
             applied = self.view.merge_delta(delta)
             span.set(applied=applied)
         return applied
+
+    def gossip_sweep(self) -> List[GossipTraffic]:
+        """One failure-detector round: gossip with every live peer.
+
+        A peer whose handshake dies at the transport (closed channel, a
+        crashed endpoint) is recorded as *suspected* at its believed
+        heartbeat; a live-but-slow peer refutes that on any later sweep
+        simply by having beaten past it.  The sweep then ages the
+        detector one tick - a peer silent for ``suspect_after`` sweeps
+        is suspected even without a failed send, and unrefuted
+        suspicion hardens into a tombstone after ``confirm_after``
+        more, firing :meth:`_on_peer_dead`.  Returns the traffic of the
+        rounds that succeeded.
+        """
+        results: List[GossipTraffic] = []
+        for peer_name in sorted(self.peers):
+            if self.membership.is_dead(peer_name):
+                continue
+            try:
+                results.append(self.gossip_with(peer_name))
+            except NetworkError:
+                self.membership.suspect(peer_name)
+        self.membership.tick()
+        return results
 
     # ------------------------------------------------------------------
     # Delegation
@@ -818,6 +1021,31 @@ class FixpointNode:
             self.outstanding[peer_name] = (
                 self.outstanding.get(peer_name, 0) + 1
             )
+
+            # One-shot settle closure: *every* way this delegation can
+            # end - reply absorbed, transport death, spawn failure, a
+            # caller-side timeout/cancel - funnels through it, and only
+            # the first caller wins.  It owns the dispatch's two side
+            # effects (the optimistic view advance and the load count),
+            # so no outcome can leak them and no race can undo them
+            # twice (the PR 8 satellite-a leak: a timed-out ``result()``
+            # returned without either).
+            state = {"settled": False}
+
+            def settle(rollback: bool) -> bool:
+                with self._lock:
+                    if state["settled"]:
+                        return False
+                    state["settled"] = True
+                    self.outstanding[peer_name] -= 1
+                    if rollback:
+                        for key in shipped:
+                            self.view.forget(key, peer_name)
+                        if shipped:
+                            self._m_rollbacks.inc(peer=peer_name)
+                return True
+
+            future._settler = settle
             # Spawn *inside* the dispatch lock: the serve task's queue
             # position must match its wire sequence number, or a
             # bounded peer pool can pick up frame k+1 first and wedge a
@@ -827,7 +1055,7 @@ class FixpointNode:
                 peer.runtime.spawn(
                     lambda: self._finish_delegation(
                         future, channel, peer, peer_name, encode,
-                        wire, request_seq, shipped,
+                        wire, request_seq,
                     )
                 )
             except BaseException as exc:
@@ -835,11 +1063,7 @@ class FixpointNode:
                 # effect of the dispatch (belief, load, and the frame's
                 # slot in the delivery order - an unreleased sequence
                 # number would wedge the direction forever).
-                for key in shipped:
-                    self.view.forget(key, peer_name)
-                self.outstanding[peer_name] -= 1
-                if shipped:
-                    self._m_rollbacks.inc(peer=peer_name)
+                settle(True)
                 channel.arrival(self, request_seq).release()
                 span.set(bytes=len(wire), handles_shipped=len(shipped))
                 span.finish(status="error", error=str(exc))
@@ -865,18 +1089,24 @@ class FixpointNode:
         encode: Handle,
         wire: bytes,
         request_seq: int,
-        shipped: Sequence[bytes],
     ) -> None:
         """Serving-thread half of one delegation: deliver, serve, absorb.
 
         Runs on the *peer's* pool (or fallback serve thread) so the
-        dispatcher never blocks.  Any failure - transport or remote
-        evaluation - rolls back the optimistic view advance for the
-        shipped keys and fails the future.  ``outstanding`` drops
+        dispatcher never blocks.  Both outcomes resolve through the
+        delegation's one-shot settle closure: a failure - transport or
+        remote evaluation - settles with rollback (forgetting the
+        optimistic view advance for the shipped keys) and fails the
+        future; success settles without.  If the caller's
+        timeout/cancel settled first, the closure refuses and this
+        thread drops its outcome on the floor - the caller already owns
+        the bookkeeping.  ``outstanding`` drops inside the settle,
         *before* the future resolves, so a waiter that quotes the
         moment ``result()`` returns never sees phantom load from its
         own finished delegation.
         """
+        settle = future._settler
+        assert settle is not None  # armed by _dispatch before spawn
         request_arrival = channel.arrival(self, request_seq)
         try:
             with self._m_transit.time(peer=peer_name):
@@ -887,28 +1117,20 @@ class FixpointNode:
             with channel.arrival(peer, reply_seq):
                 result = self._absorb_reply(peer_name, encode, wire_back)
         except BaseException as exc:  # noqa: BLE001 - resolves the future
-            for key in shipped:
-                self.view.forget(key, peer_name)
-            if shipped:
-                self._m_rollbacks.inc(peer=peer_name)
             if not isinstance(exc, FixError):
                 exc = NetworkError(
                     f"{self.name}: delegation to {peer_name!r} died in "
                     f"transit: {exc}"
                 )
-            self._settle(peer_name)
-            future._fail(exc)
+            if settle(True):
+                future._fail(exc)
         else:
-            self._settle(peer_name)
-            future._complete(result)
+            if settle(False):
+                future._complete(result)
         finally:
             # A serve that died before entering its delivery window must
             # not wedge the direction; release is idempotent.
             request_arrival.release()
-
-    def _settle(self, peer_name: str) -> None:
-        with self._lock:
-            self.outstanding[peer_name] -= 1
 
     def _absorb_reply(
         self, peer_name: str, encode: Handle, wire_back: bytes
@@ -1058,14 +1280,22 @@ class FixpointNode:
 
         Without a directory a name learned via gossip is knowledge with
         no endpoint, so only live channels qualify - placement must
-        never pick a machine delegation cannot reach.
+        never pick a machine delegation cannot reach.  Confirmed-dead
+        peers never qualify: eviction pops their channel and purges
+        their view beliefs, and the filter here catches the window
+        between a tombstone landing and the eviction callback running.
         """
-        names = set(self.peers)
+        names = {
+            peer
+            for peer in self.peers
+            if not self.membership.is_dead(peer)
+        }
         if self.directory is not None:
             for location in self.view.known_locations():
                 if (
                     location != self.name
                     and location not in names
+                    and not self.membership.is_dead(location)
                     and self.directory.get(location) is not None
                 ):
                     names.add(location)
@@ -1096,9 +1326,15 @@ class FixpointNode:
         (the view may be stale - the peer might hold the datum anyway,
         and delegating is the only way to find out; staleness must
         never fail a delegation that could have worked).
+
+        Confirmed-dead peers are different: they are excluded inside
+        :func:`repro.dist.costmodel.choose` itself (the repo's one
+        placement policy), because a tombstone is a *liveness* fact,
+        not a staleness guess - delegating there cannot succeed.
         """
         if candidates is None:
             candidates = self._candidates()
+        dead = self.membership.dead_nodes()
         with self._m_quote.time():
             needs = [
                 (key, local.get(key, self.view.believed_size(key)))
@@ -1116,6 +1352,7 @@ class FixpointNode:
                 viable,
                 prices.__getitem__,
                 lambda peer: self.outstanding.get(peer, 0),
+                exclude=dead,
             )
 
     def quote_best(self, encode: Handle) -> Quote:
@@ -1226,3 +1463,43 @@ class FixpointNode:
         for index, future in remote:
             results[index] = future.result()
         return [results[index] for index in range(len(encodes))]
+
+    def retry_elsewhere(self, failed: Delegation) -> Delegation:
+        """Re-quote and re-dispatch a failed delegation on the survivors.
+
+        The lost-work half of failure handling: the failure detector
+        only *discovers* a death - work that was in flight toward the
+        dead peer still failed with :class:`NetworkError`, and the
+        caller holds a dead future.  This closes the loop.  The failed
+        peer is reported suspected (first-hand transport evidence beats
+        waiting out a silence timeout), its name is excluded from the
+        fresh quote even before the tombstone lands, and the encode is
+        re-priced across the remaining candidates through the same cost
+        model as any first dispatch - re-delegation is not a special
+        placement policy.
+
+        The caller decides *when* to retry (the failed future must be
+        settled; its rollback already freed the optimistic view advance,
+        so the new quote prices shipping honestly).  Raises
+        :class:`NetworkError` when no candidate survives.
+        """
+        if not failed.done:
+            raise NetworkError(
+                f"{self.name}: cannot retry a delegation to "
+                f"{failed.peer!r} that is still in flight"
+            )
+        self.membership.suspect(failed.peer)
+        candidates = [
+            peer for peer in self._candidates() if peer != failed.peer
+        ]
+        if not candidates:
+            raise NetworkError(
+                f"{self.name}: no surviving peers to retry the "
+                f"delegation that died on {failed.peer!r}"
+            )
+        fp = transitive_footprint(self.repo, failed.encode)
+        quote = self._quote_peers(
+            fp, self.runtime.holdings(), candidates
+        )
+        self._m_retries.inc(peer=failed.peer, target=quote.candidate)
+        return self._dispatch(quote.candidate, failed.encode, fp)

@@ -62,6 +62,7 @@ EXPECTED_MODULES = [
     "repro.dist.engine",
     "repro.dist.gossip",
     "repro.dist.graph",
+    "repro.dist.membership",
     "repro.dist.multitenancy",
     "repro.dist.objectview",
     "repro.dist.scheduler",
@@ -132,6 +133,7 @@ class TestDistExports:
             "costmodel",
             "gossip",
             "graph",
+            "membership",
             "objectview",
             "scheduler",
             "engine",

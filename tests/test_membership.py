@@ -1,0 +1,777 @@
+"""Tests for gossiped membership: failure detection, tombstone eviction,
+log compaction, and the lost-work re-delegation loop.
+
+The bug under test (PR 8): before membership existed, one dead node's
+gossiped holdings kept winning placement quotes forever - staleness was
+"safe" for inventory but fatal for liveness.  These tests pin the whole
+fix: detection (suspect -> confirm over gossip rounds), eviction (views,
+channels, directories), exclusion (the one placement policy), and
+recovery (in-flight work re-delegated to survivors).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.codelets.stdlib import blob_int, int_blob
+from repro.core.errors import SchedulingError
+from repro.dist.gossip import GossipConfig, GossipCoordinator
+from repro.dist.membership import (
+    ALIVE,
+    DEAD,
+    SUSPECT,
+    Member,
+    MembershipError,
+    MembershipView,
+    join_members,
+    pack_members,
+    unpack_members,
+)
+from repro.dist.objectview import EMPTY_DIGEST, ObjectView
+from repro.dist.scheduler import DataflowScheduler
+from repro.fixpoint.jobs import JobQueue
+from repro.fixpoint.net import FixpointNode, NetworkError, NodeDirectory
+from repro.sim.cluster import Cluster, MachineSpec
+from repro.sim.engine import Simulator
+
+MB = 1 << 20
+
+
+# ----------------------------------------------------------------------
+# The member lattice and its wire codec
+
+
+class TestMemberLattice:
+    def test_fresher_heartbeat_wins(self):
+        old = Member("n", 3, ALIVE)
+        new = Member("n", 7, ALIVE)
+        assert join_members(old, new) == new
+        assert join_members(new, old) == new
+
+    def test_suspicion_wins_at_equal_heartbeat(self):
+        alive = Member("n", 5, ALIVE)
+        suspect = Member("n", 5, SUSPECT)
+        assert join_members(alive, suspect) == suspect
+
+    def test_fresher_beat_refutes_suspicion(self):
+        suspect = Member("n", 5, SUSPECT)
+        refuted = Member("n", 6, ALIVE)
+        assert join_members(suspect, refuted) == refuted
+
+    def test_tombstone_beats_any_heartbeat(self):
+        dead = Member("n", 1, DEAD)
+        fresh = Member("n", 10 ** 6, ALIVE)
+        assert join_members(dead, fresh) == dead
+        assert join_members(fresh, dead) == dead
+
+    def test_join_rejects_mismatched_nodes(self):
+        with pytest.raises(MembershipError):
+            join_members(Member("a", 1), Member("b", 1))
+
+    def test_codec_roundtrip(self):
+        members = (
+            Member("alpha", 12, ALIVE),
+            Member("beta", 3, SUSPECT),
+            Member("gamma", 9, DEAD),
+        )
+        raw = pack_members(members)
+        decoded, offset = unpack_members(raw)
+        assert decoded == members  # pack sorts by node; input was sorted
+        assert offset == len(raw)
+
+    def test_codec_offset_respects_surrounding_frame(self):
+        prefix, suffix = b"HEAD", b"TAIL"
+        raw = prefix + pack_members([Member("n", 1, ALIVE)]) + suffix
+        decoded, offset = unpack_members(raw, len(prefix))
+        assert decoded == (Member("n", 1, ALIVE),)
+        assert raw[offset:] == suffix
+
+    def test_codec_rejects_bad_status_byte(self):
+        raw = bytearray(pack_members([Member("n", 1, ALIVE)]))
+        raw[-1] = 0xFF
+        with pytest.raises(MembershipError):
+            unpack_members(bytes(raw))
+
+    def test_wire_bytes_matches_packed_length(self):
+        members = [Member("a-node", 7, SUSPECT), Member("b", 1, ALIVE)]
+        per_member = sum(m.wire_bytes() for m in members)
+        assert len(pack_members(members)) == 4 + per_member
+
+
+# ----------------------------------------------------------------------
+# One node's failure detector
+
+
+class TestMembershipView:
+    def test_self_is_seeded_alive(self):
+        view = MembershipView("me")
+        assert view.status("me") == ALIVE
+        assert view.live_nodes() == {"me"}
+        assert len(view) == 1
+
+    def test_beat_advances_own_heartbeat(self):
+        view = MembershipView("me")
+        first = view.heartbeat()
+        assert view.beat() == first + 1
+        assert view.heartbeat() == first + 1
+
+    def test_merge_learns_peers(self):
+        view = MembershipView("me")
+        applied = view.merge([Member("peer", 4, ALIVE)])
+        assert applied == 1
+        assert view.status("peer") == ALIVE
+        # Replay applies nothing: the lattice is idempotent.
+        assert view.merge([Member("peer", 4, ALIVE)]) == 0
+
+    def test_silence_ages_into_suspicion_then_death(self):
+        view = MembershipView("me", suspect_after=2, confirm_after=2)
+        view.merge([Member("peer", 1, ALIVE)])
+        view.tick()
+        assert view.status("peer") == ALIVE
+        view.tick()
+        assert view.status("peer") == SUSPECT
+        view.tick()
+        newly = view.tick()
+        assert newly == ["peer"]
+        assert view.is_dead("peer")
+        assert view.dead_nodes() == {"peer"}
+
+    def test_fresh_heartbeat_refutes_suspicion(self):
+        view = MembershipView("me", suspect_after=2, confirm_after=2)
+        view.merge([Member("peer", 1, ALIVE)])
+        view.tick()
+        view.tick()
+        assert view.status("peer") == SUSPECT
+        view.merge([Member("peer", 2, ALIVE)])  # it beat: still alive
+        assert view.status("peer") == ALIVE
+        view.tick()  # the refutation also reset the staleness age
+        assert view.status("peer") == ALIVE
+
+    def test_self_defense_beats_past_gossiped_suspicion(self):
+        view = MembershipView("me")
+        heartbeat = view.heartbeat()
+        view.merge([Member("me", heartbeat, SUSPECT)])
+        assert view.status("me") == ALIVE
+        assert view.heartbeat() > heartbeat
+
+    def test_suspect_records_at_believed_heartbeat(self):
+        view = MembershipView("me")
+        view.merge([Member("peer", 3, ALIVE)])
+        view.suspect("peer")
+        assert view.status("peer") == SUSPECT
+        members = {m.node: m for m in view.members()}
+        assert members["peer"].heartbeat == 3
+
+    def test_suspect_ignores_unknown_and_self(self):
+        view = MembershipView("me")
+        view.suspect("ghost")
+        view.suspect("me")
+        assert view.status("ghost") is None
+        assert view.status("me") == ALIVE
+
+    def test_tombstone_is_terminal(self):
+        view = MembershipView("me")
+        view.merge([Member("peer", 1, ALIVE)])
+        view.declare_dead("peer")
+        view.merge([Member("peer", 10 ** 6, ALIVE)])  # stale optimism
+        assert view.is_dead("peer")
+
+    def test_dead_self_stays_dead(self):
+        view = MembershipView("me")
+        view.merge([Member("me", view.heartbeat(), DEAD)])
+        before = view.heartbeat()
+        assert view.beat() == before  # no resurrection without incarnations
+        assert view.is_dead("me")
+
+    def test_on_dead_fires_exactly_once(self):
+        fired = []
+        view = MembershipView("me", on_dead=fired.append)
+        view.merge([Member("peer", 1, ALIVE)])
+        view.declare_dead("peer")
+        view.declare_dead("peer")
+        view.merge([Member("peer", 1, DEAD)])  # tombstone re-delivered
+        assert fired == ["peer"]
+
+    def test_on_dead_callback_may_reenter_the_view(self):
+        """Callbacks run outside the lock: one that reads the view back
+        (as FixpointNode's eviction path does) must not deadlock."""
+        seen = []
+        view = MembershipView("me")
+        view.on_dead(lambda node: seen.append(view.dead_nodes()))
+        view.merge([Member("peer", 1, DEAD)])
+        assert seen == [{"peer"}]
+
+
+# ----------------------------------------------------------------------
+# Tombstone eviction and log compaction in the ObjectView
+
+
+class TestObjectViewEviction:
+    def test_evict_purges_every_belief_about_the_node(self):
+        view = ObjectView("me")
+        view.learn("x", "dead", 100)
+        view.learn("x", "alive", 100)
+        view.learn("y", "dead", 50)
+        evicted = view.evict("dead")
+        assert evicted == 2
+        assert view.where("x") == {"alive"}
+        assert view.where("y") == set()
+        assert view.is_evicted("dead")
+        assert view.stats()["evicted"] == 1
+
+    def test_evict_is_idempotent(self):
+        view = ObjectView("me")
+        view.learn("x", "dead", 100)
+        assert view.evict("dead") == 1
+        assert view.evict("dead") == 0
+
+    def test_learn_is_gated_after_eviction(self):
+        view = ObjectView("me")
+        view.evict("dead")
+        view.learn("x", "dead", 100)
+        assert view.where("x") == set()
+
+    def test_late_gossip_cannot_resurrect_evicted_beliefs(self):
+        """A delta recorded before the death, delivered after the
+        eviction, must not bring the dead node's holdings back - and
+        must still advance the version caps so the sender never
+        re-ships it (the anti-entropy stays quiet)."""
+        source = ObjectView("source")
+        source.learn("x", "dead", 100)
+        source.learn("x", "alive", 100)
+        stale_delta = source.delta_since(EMPTY_DIGEST)
+
+        target = ObjectView("target")
+        target.evict("dead")
+        target.merge_delta(stale_delta)
+        assert target.where("x") == {"alive"}
+        # Caps advanced: replaying the same delta applies nothing.
+        assert target.merge_delta(stale_delta) == 0
+
+    def test_compaction_bounds_log_under_relearning(self):
+        view = ObjectView("me")
+        for i in range(5_000):
+            view.learn("flappy", "peer", 1 + (i % 7))
+        stats = view.stats()
+        assert stats["log_entries"] < 64  # the auto-compaction trigger
+        assert stats["compactions"] >= 1
+
+    def test_compaction_is_transparent_to_merge(self):
+        noisy = ObjectView("noisy")
+        for i in range(200):
+            noisy.learn("a", "p1", 1 + i)
+            noisy.learn("b", "p2", 1 + i)
+        noisy.compact()
+        fresh = ObjectView("fresh")
+        fresh.merge_delta(noisy.delta_since(fresh.digest()))
+        assert fresh.where("a") == {"p1"}
+        assert fresh.where("b") == {"p2"}
+        assert fresh.believed_size("a") == noisy.believed_size("a")
+
+
+# ----------------------------------------------------------------------
+# Coordinator-driven epidemic detection (the simulated side)
+
+
+class TestCoordinatorMembership:
+    def _coordinator(self, n=8, **kw):
+        views = [ObjectView(f"n{i}") for i in range(n)]
+        kw.setdefault("membership", True)
+        kw.setdefault("suspect_after", 3)
+        kw.setdefault("confirm_after", 3)
+        return views, GossipCoordinator(views, seed=7, **kw)
+
+    def test_no_false_positives_while_everyone_gossips(self):
+        _views, coordinator = self._coordinator()
+        for _ in range(40):
+            coordinator.round()
+        for i in range(8):
+            assert not coordinator.membership_view(f"n{i}").dead_nodes()
+
+    def test_membership_bytes_are_counted(self):
+        _views, coordinator = self._coordinator()
+        stats = coordinator.round()
+        assert stats.membership_bytes > 0
+        assert stats.bytes_shipped >= stats.membership_bytes
+
+    def test_killed_node_is_tombstoned_by_every_survivor(self):
+        views, coordinator = self._coordinator()
+        views[0].learn("obj", "n3", 100)  # a belief the death invalidates
+        for _ in range(5):  # everyone hears everyone's heartbeat first
+            coordinator.round()
+        coordinator.kill("n3")
+        rounds = 0
+        while len(coordinator.declared_dead("n3")) < 7:
+            coordinator.round()
+            rounds += 1
+            assert rounds < 32, "tombstone never converged"
+        # Detection + eviction: the dead node's holdings are gone from
+        # the observer that believed them.
+        assert views[0].where("obj") == set()
+        assert views[0].is_evicted("n3")
+        # Bounded: suspect + confirm + epidemic spread, with slack.
+        assert rounds <= 3 + 3 + 2 * 3 + 4  # log2(8) = 3
+
+    def test_survivors_never_tombstone_each_other(self):
+        _views, coordinator = self._coordinator()
+        for _ in range(5):
+            coordinator.round()
+        coordinator.kill("n5")
+        for _ in range(30):
+            coordinator.round()
+        for i in range(8):
+            if i == 5:
+                continue
+            detector = coordinator.membership_view(f"n{i}")
+            assert detector.dead_nodes() <= {"n5"}
+
+
+# ----------------------------------------------------------------------
+# Placement exclusion (the one cost model, both runtimes)
+
+
+class TestSchedulerExcludesDead:
+    def _setup(self):
+        sim = Simulator()
+        cluster = Cluster(
+            sim, [MachineSpec(f"node{i}", cores=4) for i in range(3)]
+        )
+        view = ObjectView("sched")
+        membership = MembershipView("sched")
+        for i in range(3):
+            membership.merge([Member(f"node{i}", 1, ALIVE)])
+        scheduler = DataflowScheduler(cluster, view, membership=membership)
+        return cluster, view, membership, scheduler
+
+    def _task(self, name, inputs=()):
+        from repro.dist.graph import TaskSpec
+
+        return TaskSpec(
+            name=name,
+            fn="f",
+            inputs=tuple(inputs),
+            output=f"{name}.out",
+            output_size=8,
+            compute_seconds=0.1,
+        )
+
+    def test_dead_machine_loses_placement_even_with_the_data(self):
+        cluster, view, membership, scheduler = self._setup()
+        cluster.add_object("big", 500 * MB, "node2")
+        view.sync_from_cluster(cluster)
+        assert scheduler.place(self._task("t", ["big"])).machine == "node2"
+        membership.declare_dead("node2")
+        placement = scheduler.place(self._task("t2", ["big"]))
+        assert placement.machine != "node2"
+
+    def test_random_ablation_also_excludes_dead(self):
+        _cluster, _view, membership, scheduler = self._setup()
+        scheduler.locality = False
+        membership.declare_dead("node1")
+        chosen = {
+            scheduler.place(self._task(f"t{i}")).machine for i in range(20)
+        }
+        assert "node1" not in chosen
+
+    def test_all_dead_raises_scheduling_error(self):
+        _cluster, _view, membership, scheduler = self._setup()
+        for i in range(3):
+            membership.declare_dead(f"node{i}")
+        with pytest.raises(SchedulingError):
+            scheduler.place(self._task("t"))
+
+
+class TestEngineFailMachine:
+    def _graph(self):
+        from repro.dist.graph import JobGraph, TaskSpec
+
+        graph = JobGraph()
+        graph.add_data("big", 10 * MB, "node0")
+        graph.add_task(
+            TaskSpec(
+                name="t",
+                fn="f",
+                inputs=("big",),
+                output="t.out",
+                output_size=8,
+                compute_seconds=0.1,
+            )
+        )
+        return graph
+
+    def test_fail_machine_requires_membership(self):
+        from repro.dist.engine import FixpointSim
+
+        platform = FixpointSim.build(nodes=3, cores=4)
+        with pytest.raises(SchedulingError):
+            platform.fail_machine("node1")
+
+    def test_failed_machine_is_excluded_after_detection(self):
+        from repro.dist.engine import FixpointSim
+
+        platform = FixpointSim.build(
+            nodes=3,
+            cores=4,
+            gossip=GossipConfig(
+                startup_rounds=3,
+                rounds_per_output=2,
+                seed=0,
+                membership=True,
+                suspect_after=2,
+                confirm_after=2,
+            ),
+        )
+        for _ in range(5):  # heartbeats must spread before they can stop
+            platform.gossip.round()
+        platform.fail_machine("node0")  # the machine holding "big"
+        for _ in range(12):  # detection: suspect + confirm + spread
+            platform.gossip.round()
+        assert platform.scheduler.membership.is_dead("node0")
+        result = platform.run(self._graph())
+        assert set(result.task_finish) == {"t"}
+        # Ground truth: the output landed on a survivor.
+        locations = platform.cluster.locate("t.out")
+        assert locations and "node0" not in locations
+
+    def test_fail_unknown_machine_raises(self):
+        from repro.dist.engine import FixpointSim
+
+        platform = FixpointSim.build(
+            nodes=2, cores=4, gossip=GossipConfig(membership=True)
+        )
+        with pytest.raises(SchedulingError):
+            platform.fail_machine("ghost")
+
+
+# ----------------------------------------------------------------------
+# The executing runtime: crash, detect, evict, retry
+
+
+def add_encode(node, x, y):
+    repo = node.repo
+    fn = node.runtime.stdlib["add_u8"]
+    return node.runtime.invoke(
+        fn, [repo.put_blob(int_blob(x, 1)), repo.put_blob(int_blob(y, 1))]
+    ).wrap_strict()
+
+
+@pytest.fixture
+def trio():
+    nodes = [FixpointNode(n) for n in ("a", "b", "c")]
+    a, b, c = nodes
+    a.connect(b)
+    a.connect(c)
+    b.connect(c)
+    yield a, b, c
+    for node in nodes:
+        node.close()
+
+
+class TestNetFailureDetection:
+    def _sweep_until_dead(self, survivors, victim, budget=20):
+        rounds = 0
+        while not all(s.membership.is_dead(victim) for s in survivors):
+            for survivor in survivors:
+                survivor.gossip_sweep()
+            rounds += 1
+            assert rounds < budget, "detector never confirmed the death"
+        return rounds
+
+    def test_sweeps_keep_live_peers_alive(self, trio):
+        a, b, c = trio
+        for _ in range(10):
+            for node in (a, b, c):
+                node.gossip_sweep()
+        for node in (a, b, c):
+            assert not node.membership.dead_nodes()
+
+    def test_crash_is_detected_evicted_and_excluded(self, trio):
+        a, b, c = trio
+        c.crash()
+        self._sweep_until_dead([a, b], "c")
+        # Eviction ran everywhere it should:
+        assert "c" not in a.peers and "c" not in b.peers
+        assert a.view.is_evicted("c") and b.view.is_evicted("c")
+        # And placement never quotes the corpse:
+        assert a.quote_best(add_encode(a, 1, 2)).candidate == "b"
+
+    def test_delegating_to_a_tombstoned_peer_fails_fast(self, trio):
+        a, b, c = trio
+        c.crash()
+        self._sweep_until_dead([a, b], "c")
+        with pytest.raises(NetworkError, match="dead"):
+            a.delegate("c", add_encode(a, 3, 4))
+
+    def test_directory_forgets_the_dead(self):
+        directory = NodeDirectory()
+        nodes = [
+            FixpointNode(n, directory=directory) for n in ("a", "b", "c")
+        ]
+        a, b, c = nodes
+        a.connect(b)
+        a.connect(c)
+        b.connect(c)
+        try:
+            c.crash()
+            TestNetFailureDetection()._sweep_until_dead([a, b], "c")
+            assert directory.get("c") is None
+        finally:
+            for node in nodes:
+                node.close()
+
+    def test_in_flight_delegation_dies_and_retries_elsewhere(self, trio):
+        a, b, c = trio
+        encode = add_encode(a, 7, 8)
+        a.peers["c"].latency = 0.5  # park the frame in transit
+        future = a.delegate_async("c", encode)
+        c.crash()  # closes the channel mid-flight
+        with pytest.raises(NetworkError):
+            future.result(timeout=10.0)
+        # The rollback freed the load signal...
+        assert a.outstanding["c"] == 0
+        # ...and the retry completes on the survivor.
+        retry = a.retry_elsewhere(future)
+        assert retry.peer == "b"
+        result = retry.result(timeout=10.0)
+        assert blob_int(a.repo.get_blob(result).data) == 15
+        # The transport failure registered as first-hand suspicion.
+        assert a.membership.status("c") in (SUSPECT, DEAD)
+
+    def test_retry_of_an_unsettled_delegation_is_refused(self, trio):
+        a, b, c = trio
+        a.peers["c"].latency = 0.5
+        future = a.delegate_async("c", add_encode(a, 1, 1))
+        try:
+            with pytest.raises(NetworkError, match="in flight"):
+                a.retry_elsewhere(future)
+        finally:
+            future.wait(timeout=10.0)
+
+    def test_retry_with_no_survivors_raises(self):
+        a = FixpointNode("a")
+        b = FixpointNode("b")
+        channel = a.connect(b)
+        try:
+            channel.latency = 0.5
+            future = a.delegate_async("b", add_encode(a, 1, 1))
+            b.crash()
+            with pytest.raises(NetworkError):
+                future.result(timeout=10.0)
+            with pytest.raises(NetworkError, match="no surviving"):
+                a.retry_elsewhere(future)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestDelegationRollback:
+    """Satellite (a): a timed-out/cancelled delegation must roll back
+    BOTH the optimistic view advance and the per-peer load count.
+
+    The old code path raised NetworkError from ``result(timeout=...)``
+    and simply returned: ``outstanding[peer]`` stayed raised forever
+    (poisoning every later load tiebreak) and the view kept believing
+    the peer held the shipped keys (poisoning every later byte quote).
+    """
+
+    def _believed_by(self, node, peer):
+        return {
+            h.content_key()
+            for h in node.repo.handles()
+            if node.view.knows(h.content_key(), peer)
+        }
+
+    def test_timeout_rolls_back_view_and_outstanding(self):
+        x, y = FixpointNode("x"), FixpointNode("y")
+        channel = x.connect(y)
+        try:
+            channel.latency = 5.0  # nothing completes inside the test
+            encode = add_encode(x, 1, 1)
+            before = self._believed_by(x, "y")
+            future = x.delegate_async("y", encode)
+            assert x.outstanding["y"] == 1
+            assert self._believed_by(x, "y") > before  # bytes shipped
+            with pytest.raises(NetworkError, match="timed out"):
+                future.result(timeout=0.05)
+            assert x.outstanding["y"] == 0
+            assert self._believed_by(x, "y") == before
+        finally:
+            channel.close()
+            x.close()
+            y.close()
+
+    def test_settle_is_one_shot(self):
+        x, y = FixpointNode("x"), FixpointNode("y")
+        channel = x.connect(y)
+        try:
+            channel.latency = 5.0
+            future = x.delegate_async("y", add_encode(x, 1, 1))
+            assert future.cancel()
+            assert not future.cancel()  # second cancel refuses
+            assert x.outstanding["y"] == 0  # exactly one decrement
+        finally:
+            channel.close()
+            x.close()
+            y.close()
+
+    def test_cancel_after_completion_refuses(self):
+        x, y = FixpointNode("x"), FixpointNode("y")
+        x.connect(y)
+        try:
+            future = x.delegate_async("y", add_encode(x, 2, 3))
+            result = future.result(timeout=10.0)
+            assert blob_int(x.repo.get_blob(result).data) == 5
+            assert not future.cancel()
+            assert x.outstanding["y"] == 0
+        finally:
+            x.close()
+            y.close()
+
+
+class TestChannelCloseWakesWaiters:
+    """Satellite (b): eviction must close the dead node's channels so
+    frames parked in delivery windows and callers blocked in transit
+    wake with a NetworkError naming the dead endpoint - not hang until
+    an unrelated timeout."""
+
+    def test_parked_transit_wakes_on_close(self):
+        x, y = FixpointNode("x"), FixpointNode("y")
+        channel = x.connect(y)
+        try:
+            channel.latency = 30.0  # way past any test budget
+            errors = []
+
+            def waiter():
+                try:
+                    channel.transit()
+                except NetworkError as exc:
+                    errors.append(exc)
+
+            thread = threading.Thread(target=waiter, daemon=True)
+            thread.start()
+            time.sleep(0.05)  # the waiter is parked mid-latency
+            channel.close()
+            thread.join(timeout=5.0)
+            assert not thread.is_alive(), "transit never woke on close"
+            assert errors and "x<->y" in str(errors[0])
+        finally:
+            x.close()
+            y.close()
+
+    def test_eviction_closes_the_channel(self, trio):
+        a, b, c = trio
+        channel = a.peers["c"]
+        c.crash()
+        TestNetFailureDetection()._sweep_until_dead([a, b], "c")
+        assert channel.closed
+        with pytest.raises(NetworkError):
+            channel.send(a, b"frame")
+
+
+class TestJobQueuePopDeadline:
+    """Satellite (c): ``pop`` must treat its timeout as a deadline, not
+    as the budget of a single ``Condition.wait`` - a spurious notify
+    used to make a worker's idle poll return early."""
+
+    def test_spurious_notify_does_not_cut_the_wait_short(self):
+        queue = JobQueue()
+
+        def spurious_notify():
+            time.sleep(0.05)
+            with queue._cond:
+                queue._cond.notify_all()  # no item enqueued
+
+        thread = threading.Thread(target=spurious_notify, daemon=True)
+        start = time.monotonic()
+        thread.start()
+        job = queue.pop(timeout=0.4)
+        elapsed = time.monotonic() - start
+        thread.join()
+        assert job is None
+        assert elapsed >= 0.35, f"pop returned after {elapsed:.3f}s"
+
+    def test_close_still_wakes_pop_immediately(self):
+        queue = JobQueue()
+
+        def close_soon():
+            time.sleep(0.05)
+            queue.close()
+
+        thread = threading.Thread(target=close_soon, daemon=True)
+        start = time.monotonic()
+        thread.start()
+        job = queue.pop(timeout=10.0)
+        elapsed = time.monotonic() - start
+        thread.join()
+        assert job is None
+        assert elapsed < 5.0, "pop ignored close and waited out the timeout"
+
+    def test_submit_still_wakes_pop_with_the_item(self):
+        queue = JobQueue()
+
+        def submit_soon():
+            time.sleep(0.05)
+            queue.submit_task(lambda: None)
+
+        thread = threading.Thread(target=submit_soon, daemon=True)
+        thread.start()
+        job = queue.pop(timeout=10.0)
+        thread.join()
+        assert job is not None
+
+
+# ----------------------------------------------------------------------
+# Stress: kill a node mid-scatter; survivors finish everything
+
+
+@pytest.mark.stress
+class TestChurnStress:
+    NODES = 4
+    ENCODES = 12
+
+    def test_kill_a_node_mid_scatter(self):
+        nodes = [
+            FixpointNode(f"n{i}", workers=2, suspect_after=2, confirm_after=2)
+            for i in range(self.NODES)
+        ]
+        a = nodes[0]
+        victim = nodes[-1]
+        try:
+            for i, node in enumerate(nodes):
+                for other in nodes[i + 1 :]:
+                    node.connect(other)
+            # Slow the victim's link so some frames are genuinely in
+            # flight when it dies.
+            a.peers[victim.name].latency = 0.2
+            encodes = [
+                add_encode(a, i, i + 1) for i in range(self.ENCODES)
+            ]
+            futures = a.scatter(encodes)
+            victim.crash()
+            # Drive detection concurrently with the in-flight work.
+            for _ in range(10):
+                for node in nodes[:-1]:
+                    node.gossip_sweep()
+            results = {}
+            for index, future in enumerate(futures):
+                try:
+                    results[index] = future.result(timeout=30.0)
+                except NetworkError:
+                    retry = a.retry_elsewhere(future)
+                    assert retry.peer != victim.name
+                    results[index] = retry.result(timeout=30.0)
+            for index, handle in results.items():
+                assert (
+                    blob_int(a.repo.get_blob(handle).data) == 2 * index + 1
+                )
+            # The survivors tombstoned the victim; nobody tombstoned a
+            # survivor.
+            for node in nodes[:-1]:
+                assert node.membership.is_dead(victim.name)
+                assert node.membership.dead_nodes() == {victim.name}
+        finally:
+            for node in nodes:
+                node.close()

@@ -20,6 +20,15 @@ from repro.core.thunks import (
     strict,
 )
 from repro.dist.gossip import GossipCoordinator
+from repro.dist.membership import (
+    ALIVE,
+    DEAD,
+    SUSPECT,
+    Member,
+    MembershipView,
+    pack_members,
+    unpack_members,
+)
 from repro.dist.multitenancy import (
     AppProfile,
     Phase,
@@ -288,6 +297,163 @@ class TestGossipMergeAlgebra:
         coordinator.run(max_rounds=16)
         for view in views:
             assert view.snapshot() == expected
+
+
+# ----------------------------------------------------------------------
+# Membership merge algebra (the liveness side of gossip is also a join)
+
+#: Random membership assertions over a small node namespace.  The
+#: namespace is disjoint from the observing view's own name so the SWIM
+#: self-defense (beating past a suspicion about oneself) never fires -
+#: that transition is deliberately *not* order-independent and is
+#: covered by its own unit test.
+member_entries = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),  # node index
+        st.integers(min_value=1, max_value=50),  # heartbeat
+        st.sampled_from([ALIVE, SUSPECT, DEAD]),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _members_from(entries):
+    return [Member(f"m{i}", hb, status) for i, hb, status in entries]
+
+
+def _membership_snapshot(view):
+    """The merged belief map, minus the observer's own entry."""
+    return {m.node: m for m in view.members() if m.node != view.node}
+
+
+def _merged_membership(name, *maps):
+    view = MembershipView(name)
+    for members in maps:
+        view.merge(members)
+    return view
+
+
+class TestMembershipMergeAlgebra:
+    """The per-node member lattice (DEAD > fresher heartbeat > SUSPECT >
+    ALIVE) makes the membership merge an idempotent, commutative,
+    associative join - the same algebra as the inventory delta merge,
+    so liveness converges on the same epidemic schedule as inventory."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(member_entries)
+    def test_merge_is_idempotent(self, entries):
+        members = _members_from(entries)
+        view = MembershipView("obs")
+        view.merge(members)
+        once = _membership_snapshot(view)
+        assert view.merge(members) == 0  # replay applies nothing
+        assert _membership_snapshot(view) == once
+
+    @settings(max_examples=60, deadline=None)
+    @given(member_entries, member_entries)
+    def test_merge_is_commutative(self, left, right):
+        a = _merged_membership(
+            "ab", _members_from(left), _members_from(right)
+        )
+        b = _merged_membership(
+            "ba", _members_from(right), _members_from(left)
+        )
+        assert _membership_snapshot(a) == _membership_snapshot(b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(member_entries, member_entries, member_entries)
+    def test_merge_is_associative(self, e1, e2, e3):
+        m1, m2, m3 = (_members_from(e) for e in (e1, e2, e3))
+        left = _merged_membership(
+            "l", _merged_membership("ab", m1, m2).members(), m3
+        )
+        right = _merged_membership(
+            "r", m1, _merged_membership("bc", m2, m3).members()
+        )
+        # The intermediate views' own entries ride along in members();
+        # strip both observers' names before comparing.
+        strip = {"l", "r", "ab", "bc"}
+        assert {
+            n: m for n, m in _membership_snapshot(left).items()
+            if n not in strip
+        } == {
+            n: m for n, m in _membership_snapshot(right).items()
+            if n not in strip
+        }
+
+    @settings(max_examples=60, deadline=None)
+    @given(member_entries, st.randoms(use_true_random=False))
+    def test_tombstone_survives_any_delivery_order(self, entries, rng):
+        """Once any entry tombstones a node, every delivery order of the
+        full set leaves that node dead - stale ALIVE assertions about it
+        (shadowed holdings' heartbeats) can never resurrect it."""
+        members = _members_from(entries)
+        doomed = {m.node for m in members if m.status == DEAD}
+        shuffled = list(members)
+        rng.shuffle(shuffled)
+        view = MembershipView("obs")
+        for member in shuffled:
+            view.merge([member])  # worst case: one entry per frame
+        assert view.dead_nodes() == doomed
+
+    @settings(max_examples=60, deadline=None)
+    @given(member_entries)
+    def test_codec_roundtrip_is_identity(self, entries):
+        members = _members_from(entries)
+        decoded, offset = unpack_members(pack_members(members))
+        key = lambda m: (m.node, m.heartbeat, m.status)  # noqa: E731
+        assert sorted(decoded, key=key) == sorted(members, key=key)
+        assert offset == len(pack_members(members))
+
+
+class TestEvictionMergeAlgebra:
+    """Tombstone eviction composes with the delta merge: an evicted
+    location stays gone whatever order (or duplication) deltas arrive
+    in, and the surviving beliefs still converge to the join."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(view_ops)
+    def test_eviction_is_order_independent(self, ops):
+        views = _views_from_ops(ops)
+
+        def merged_with_eviction(name, sources):
+            target = ObjectView(name)
+            target.evict("m0")
+            for source in sources:
+                target.merge_delta(source.delta_since(target.digest()))
+            return target
+
+        forward = merged_with_eviction("f", views)
+        backward = merged_with_eviction("b", list(reversed(views)))
+        assert forward.snapshot() == backward.snapshot()
+        for view in (forward, backward):
+            for name in [f"obj{i}" for i in range(8)]:
+                assert "m0" not in view.where(name)
+
+    @settings(max_examples=60, deadline=None)
+    @given(view_ops)
+    def test_replay_after_eviction_applies_nothing(self, ops):
+        views = _views_from_ops(ops)
+        delta = views[0].delta_since(EMPTY_DIGEST)
+        target = ObjectView("t")
+        target.evict("m1")
+        target.merge_delta(delta)
+        once = target.snapshot()
+        assert target.merge_delta(delta) == 0
+        assert target.snapshot() == once
+
+    @settings(max_examples=40, deadline=None)
+    @given(view_ops)
+    def test_compaction_is_invisible_to_a_fresh_merger(self, ops):
+        views = _views_from_ops(ops)
+        source = views[0]
+        plain = ObjectView("plain")
+        plain.merge_delta(source.delta_since(plain.digest()))
+        source.compact()
+        compacted = ObjectView("compacted")
+        compacted.merge_delta(source.delta_since(compacted.digest()))
+        assert compacted.snapshot() == plain.snapshot()
 
 
 # ----------------------------------------------------------------------
