@@ -46,14 +46,39 @@ def pytest_configure(config):
         config._race_tracker = enable_tracking()
 
 
+def _static_dynamic_diff(config, tracker):
+    """Diff the static lock graph (repro.analysis.flow over ``src/``)
+    against the acquisition orders the tracker observed this session.
+
+    Computed once and cached on ``config``: both the session fixture
+    (which *asserts* on it) and the terminal summary (which *prints*
+    it) want the same answer.
+    """
+    cached = getattr(config, "_race_crosscheck", None)
+    if cached is None:
+        from repro.analysis.crosscheck import crosscheck
+        from repro.analysis.flow import analyze_tree
+
+        static = analyze_tree([config.rootpath / "src"])
+        cached = config._race_crosscheck = crosscheck(
+            static.edge_pairs(), static.labels, tracker.report().edge_pairs
+        )
+    return cached
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _race_clean_report(request):
-    """Under ``--race``: assert an empty inversion report at session end.
+    """Under ``--race``: assert an empty inversion report at session end,
+    and that the *static* lock graph covers every dynamically observed
+    acquisition order (a dynamic-only edge means the call-graph model in
+    repro.analysis.flow is incomplete and silently under-reports static
+    deadlock risk).
 
     Tests that *intentionally* reconstruct deadlocks (test_analysis.py)
     run them against private ``LockTracker`` instances via
     ``tracking(...)``, so the suite-wide tracker only sees the real
-    system's behavior.
+    system's behavior; locks minted by test fixtures show up as
+    ``foreign`` in the diff and are asserted on by nobody.
     """
     yield
     tracker = getattr(request.config, "_race_tracker", None)
@@ -63,6 +88,11 @@ def _race_clean_report(request):
     assert not report.cycles and not report.blocking, (
         "--race found concurrency hazards:\n" + report.format()
     )
+    diff = _static_dynamic_diff(request.config, tracker)
+    assert diff.clean, (
+        "--race observed lock orders the static analysis cannot derive "
+        "(the flow model is incomplete):\n" + diff.format()
+    )
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -71,6 +101,10 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         report = tracker.report()
         terminalreporter.write_sep("-", "race detector (--race)")
         terminalreporter.write_line(report.format())
+        diff = _static_dynamic_diff(config, tracker)
+        terminalreporter.write_line(diff.format())
+        out = diff.dump(config.rootpath / "RACE_lockgraph_diff.json")
+        terminalreporter.write_line(f"lock-graph diff written to {out}")
 
 
 def pytest_collection_modifyitems(config, items):

@@ -1,0 +1,126 @@
+"""Static <-> dynamic lock-graph cross-check.
+
+The static analysis (:mod:`repro.analysis.flow`) and the runtime
+tracker (:mod:`repro.analysis.sync`) describe the same object - the
+lock-acquisition order graph - from two directions, in one vocabulary:
+creation-site labels.  Diffing them turns each into a check on the
+other:
+
+``dynamic_only`` - **model bugs**.  A test observed an acquisition
+    order the static analysis cannot derive: the call-graph model is
+    incomplete (an unresolved dynamic call, a missed attribute type).
+    Under ``--race`` this set failing empty is an assertion, because an
+    incomplete model silently under-reports static deadlock risk.
+
+``static_only`` - **unexercised coverage**.  The source can produce
+    this order but no test ever did.  Not a bug in either artifact;
+    emitted as a coverage report so a transport refactor can be held
+    to "zero unexercised lock edges in new modules".
+
+``matched`` - orders both derived and observed.
+
+``foreign`` - dynamic edges touching labels the static analysis never
+    discovered in the analyzed tree (locks minted by test fixtures);
+    listed for completeness, asserted on by nobody.
+
+Dynamic labels arrive as ``label#uid`` (per-instance serial appended
+by the tracker); the diff strips the serial so both sides speak
+creation-site labels.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Set, Tuple
+
+from .sync import base_label
+
+__all__ = ["CrossCheck", "crosscheck"]
+
+Pair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class CrossCheck:
+    matched: Tuple[Pair, ...]
+    dynamic_only: Tuple[Pair, ...]
+    static_only: Tuple[Pair, ...]
+    foreign: Tuple[Pair, ...]
+
+    @property
+    def clean(self) -> bool:
+        """True when the static model covers every observed edge."""
+        return not self.dynamic_only
+
+    def format(self) -> str:
+        lines = [
+            "static<->dynamic lock graph: "
+            f"{len(self.matched)} matched, "
+            f"{len(self.dynamic_only)} dynamic-only (model bugs), "
+            f"{len(self.static_only)} static-only (unexercised), "
+            f"{len(self.foreign)} foreign (test-fixture locks)"
+        ]
+        if self.dynamic_only:
+            lines.append("dynamic-only edges (STATIC MODEL IS INCOMPLETE):")
+            lines.extend(f"  {s} -> {d}" for s, d in self.dynamic_only)
+        if self.static_only:
+            lines.append("static-only edges (no test exercises this order):")
+            lines.extend(f"  {s} -> {d}" for s, d in self.static_only)
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "matched": [list(p) for p in self.matched],
+            "dynamic_only": [list(p) for p in self.dynamic_only],
+            "static_only": [list(p) for p in self.static_only],
+            "foreign": [list(p) for p in self.foreign],
+            "clean": self.clean,
+        }
+
+    def dump(self, path) -> Path:
+        out = Path(path)
+        out.write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return out
+
+
+def crosscheck(
+    static_edges: Iterable[Pair],
+    known_labels: Iterable[str],
+    dynamic_edges: Iterable[Pair],
+) -> CrossCheck:
+    """Diff the static edge set against dynamically observed pairs.
+
+    ``static_edges`` and ``known_labels`` come from a
+    :class:`repro.analysis.flow.FlowReport` (``edge_pairs()`` /
+    ``labels``); ``dynamic_edges`` from
+    :meth:`repro.analysis.sync.RaceReport.edge_pairs` (instance labels
+    are normalized here, so either form is accepted).
+    """
+    static: Set[Pair] = set(static_edges)
+    labels: Set[str] = set(known_labels)
+    dynamic: Set[Pair] = {
+        (base_label(s), base_label(d)) for s, d in dynamic_edges
+    }
+
+    matched = sorted(static & dynamic)
+    foreign = sorted(
+        (s, d) for s, d in dynamic
+        if s not in labels or d not in labels
+    )
+    dynamic_known = {
+        (s, d) for s, d in dynamic
+        if s in labels and d in labels
+    }
+    dynamic_only = sorted(dynamic_known - static)
+    static_only = sorted(static - dynamic)
+    return CrossCheck(
+        matched=tuple(matched),
+        dynamic_only=tuple(dynamic_only),
+        static_only=tuple(static_only),
+        foreign=tuple(foreign),
+    )

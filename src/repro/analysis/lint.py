@@ -6,14 +6,19 @@ now the build re-derives it instead:
 ``wall-clock``
     Sim-clocked modules (``repro/sim/``, ``repro/dist/``) must not read
     the wall clock (``time.time``/``perf_counter``/``monotonic``/
-    ``process_time``, ``datetime.now``/``utcnow``/``today``): the
-    seeded-replay bit-identity contract (PR 6) requires every simulated
-    timestamp to come from the simulator's clock.
+    ``process_time``/``sleep``, ``datetime.now``/``utcnow``/``today``):
+    the seeded-replay bit-identity contract (PR 6) requires every
+    simulated timestamp to come from the simulator's clock.  Import
+    bindings are tracked per module, so ``from time import monotonic``,
+    ``import time as t`` and ``from datetime import datetime as dt``
+    are seen through - the call is canonicalized before rule matching.
 
 ``unseeded-random``
     The same modules must not draw from the process-global ``random``
     module or an unseeded ``random.Random()``: replay determinism means
     every stream is a ``random.Random(seed)`` owned by a component.
+    Alias-aware like ``wall-clock`` (``import random as r``,
+    ``from random import random as rnd``).
 
 ``raw-lock``
     No ``threading.Lock()`` / ``RLock()`` / ``Condition()`` outside
@@ -29,6 +34,17 @@ now the build re-derives it instead:
     Every ``pack_X`` (or ``_pack_X``) in a module has a matching
     ``unpack_X`` in the same module: a wire format you can encode but
     not decode is half a protocol.
+
+``codec-layout``
+    A ``pack_X``/``unpack_X`` pair must agree on its fixed-width
+    ``struct`` layout.  The checker collects every module-level
+    ``struct.Struct`` constant (and literal ``struct.pack``/``unpack``
+    format) each side references - transitively, through helpers
+    defined in the same module, because ``pack_digest`` may inline a
+    width that ``unpack_digest`` reaches via ``_unpack_name`` - and
+    flags the pair when the referenced byte widths disagree.  That is
+    the encode-side-grew-a-field, decode-side-did-not drift that
+    otherwise only surfaces as a corrupt frame at the far end.
 
 ``lock-held-blocking``
     No lexically blocking call - ``.result()``, ``.join()``,
@@ -48,10 +64,11 @@ from __future__ import annotations
 
 import ast
 import re
+import struct
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 __all__ = ["Violation", "lint_source", "lint_path", "lint_tree", "main"]
 
@@ -62,12 +79,29 @@ SIM_CLOCKED = ("repro/sim/", "repro/dist/")
 #: Path fragments exempt from ``raw-lock`` (the tracker itself).
 RAW_LOCK_EXEMPT = ("repro/analysis/",)
 
-_WALL_CLOCK_TIME = {"time", "monotonic", "perf_counter", "process_time"}
+_WALL_CLOCK_TIME = {"time", "monotonic", "perf_counter", "process_time", "sleep"}
 _WALL_CLOCK_DATE = {"now", "utcnow", "today"}
 _RAW_LOCK_NAMES = {"Lock", "RLock", "Condition"}
 _BLOCKING_ATTRS = {"result", "join"}
 _LOCKISH = re.compile(r"lock|cond|mutex", re.IGNORECASE)
 _SKIP = re.compile(r"#\s*lint:\s*skip\[([a-z-]+)\]")
+
+#: Modules whose import bindings we canonicalize: aliasing one of these
+#: (``import time as t``, ``from random import random as rnd``) must
+#: not launder a call past the path-scoped rules above.
+_ALIAS_MODULES = {"time", "random", "datetime", "struct"}
+
+#: ``struct``-module call forms whose first argument is a format string
+#: (a literal fixed-width layout reference, pseudo-constant for
+#: ``codec-layout``).
+_STRUCT_FMT_CALLS = {
+    "struct.Struct",
+    "struct.pack",
+    "struct.pack_into",
+    "struct.unpack",
+    "struct.unpack_from",
+    "struct.calcsize",
+}
 
 
 @dataclass(frozen=True)
@@ -102,48 +136,94 @@ def _dotted(node: ast.expr) -> str:
     return ""
 
 
+def _fmt_size(fmt: str) -> Optional[int]:
+    """Byte width of a struct format string, or None if it is invalid
+    (leave invalid formats to the runtime - this rule is about drift
+    between two valid sides)."""
+    try:
+        return struct.calcsize(fmt)
+    except struct.error:
+        return None
+
+
 class _Checker(ast.NodeVisitor):
     def __init__(self, relpath: str, sim_clocked: bool, lock_exempt: bool):
         self.relpath = relpath
         self.sim_clocked = sim_clocked
         self.lock_exempt = lock_exempt
         self.violations: List[Violation] = []
-        self.pack_defs: Dict[str, int] = {}
-        self.unpack_defs: Set[str] = set()
+        self.pack_defs: Dict[str, Tuple[int, str]] = {}
+        self.unpack_defs: Dict[str, str] = {}
         #: Lock-context nesting depth while walking with-bodies.
         self._lock_depth = 0
+        #: Local name -> canonical dotted path (``t`` -> ``time``,
+        #: ``rnd`` -> ``random.random``) for the modules in
+        #: _ALIAS_MODULES.
+        self._aliases: Dict[str, str] = {}
+        #: codec-layout state: module-level Struct constants (name ->
+        #: byte width), and per-def struct references / local calls for
+        #: the transitive closure in finish().
+        self.struct_consts: Dict[str, int] = {}
+        self._fn_stack: List[str] = []
+        self._fn_names: Dict[str, Set[str]] = {}
+        self._fn_literals: Dict[str, Dict[str, int]] = {}
+        self._fn_calls: Dict[str, Set[str]] = {}
 
     def _flag(self, node: ast.AST, rule: str, message: str) -> None:
         self.violations.append(
             Violation(self.relpath, node.lineno, rule, message)
         )
 
+    def _canonical(self, dotted: str) -> str:
+        """Resolve the leading identifier through the import-binding map.
+
+        ``t.monotonic`` -> ``time.monotonic``; bare ``sleep`` (bound by
+        ``from time import sleep``) -> ``time.sleep``.  Unknown heads
+        pass through unchanged.
+        """
+        if not dotted:
+            return dotted
+        head, _, rest = dotted.partition(".")
+        target = self._aliases.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def _current_fn(self) -> Optional[str]:
+        # Nested helpers fold into their outermost def: a struct
+        # referenced by a closure counts toward the enclosing codec.
+        return self._fn_stack[0] if self._fn_stack else None
+
     # -- calls ----------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
         dotted = _dotted(node.func)
-        attr = _last_identifier(node.func)
+        canon = self._canonical(dotted)
+        # Rule matching runs on the canonical spelling; messages show
+        # the source spelling (plus the resolution when they differ).
+        shown = dotted if canon == dotted else f"{dotted} (= {canon})"
+        attr = canon.rsplit(".", 1)[-1] if canon else _last_identifier(node.func)
         if self.sim_clocked:
-            if dotted.startswith("time.") and attr in _WALL_CLOCK_TIME:
+            if canon.startswith("time.") and attr in _WALL_CLOCK_TIME:
                 self._flag(
                     node, "wall-clock",
-                    f"{dotted}() in a sim-clocked module breaks seeded "
+                    f"{shown}() in a sim-clocked module breaks seeded "
                     "replay; take the simulator's clock instead",
                 )
             elif attr in _WALL_CLOCK_DATE and (
-                "datetime" in dotted or "date." in dotted
+                "datetime" in canon or "date." in canon
             ):
                 self._flag(
                     node, "wall-clock",
-                    f"{dotted}() in a sim-clocked module breaks seeded replay",
+                    f"{shown}() in a sim-clocked module breaks seeded replay",
                 )
-            if dotted.startswith("random.") and attr != "Random":
+            if canon.startswith("random.") and attr != "Random":
                 self._flag(
                     node, "unseeded-random",
-                    f"{dotted}() draws from the process-global stream; use "
+                    f"{shown}() draws from the process-global stream; use "
                     "a component-owned random.Random(seed)",
                 )
-            elif dotted in ("random.Random", "Random") and not (
+            elif canon in ("random.Random", "Random") and not (
                 node.args or node.keywords
             ):
                 self._flag(
@@ -153,17 +233,31 @@ class _Checker(ast.NodeVisitor):
                 )
         if (
             not self.lock_exempt
-            and dotted.startswith("threading.")
+            and canon.startswith("threading.")
             and attr in _RAW_LOCK_NAMES
         ):
             self._flag(
                 node, "raw-lock",
-                f"raw {dotted}() is invisible to the --race tracker; use "
+                f"raw {shown}() is invisible to the --race tracker; use "
                 f"repro.analysis.sync.Tracked{attr}",
             )
         if self._lock_depth > 0:
             self._check_blocking_in_lock(node, dotted, attr)
+        self._note_struct_call(node, canon)
         self.generic_visit(node)
+
+    def _note_struct_call(self, node: ast.Call, canon: str) -> None:
+        fn = self._current_fn()
+        if fn is None:
+            return
+        if isinstance(node.func, ast.Name):
+            self._fn_calls.setdefault(fn, set()).add(node.func.id)
+        if canon in _STRUCT_FMT_CALLS and node.args and isinstance(
+            node.args[0], ast.Constant
+        ) and isinstance(node.args[0].value, str):
+            size = _fmt_size(node.args[0].value)
+            if size is not None:
+                self._fn_literals.setdefault(fn, {})[node.args[0].value] = size
 
     def _check_blocking_in_lock(
         self, node: ast.Call, dotted: str, attr: str
@@ -194,7 +288,22 @@ class _Checker(ast.NodeVisitor):
 
     # -- imports --------------------------------------------------------
 
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name.partition(".")[0] in _ALIAS_MODULES:
+                self._aliases[(alias.asname or alias.name).partition(".")[0]] = (
+                    alias.name if alias.asname else alias.name.partition(".")[0]
+                )
+        self.generic_visit(node)
+
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in _ALIAS_MODULES:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                self._aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
         if node.module == "threading" and not self.lock_exempt:
             for alias in node.names:
                 if alias.name in _RAW_LOCK_NAMES:
@@ -211,6 +320,37 @@ class _Checker(ast.NodeVisitor):
                         f"`from random import {alias.name}` pulls the "
                         "process-global stream into a sim-clocked module",
                     )
+        self.generic_visit(node)
+
+    # -- codec-layout bookkeeping ---------------------------------------
+
+    def visit_Name(self, node: ast.Name) -> None:
+        fn = self._current_fn()
+        if fn is not None:
+            self._fn_names.setdefault(fn, set()).add(node.id)
+        self.generic_visit(node)
+
+    def _note_struct_const(self, target: ast.expr, value: ast.expr) -> None:
+        if self._fn_stack or not isinstance(target, ast.Name):
+            return
+        if not (isinstance(value, ast.Call) and value.args):
+            return
+        if self._canonical(_dotted(value.func)) != "struct.Struct":
+            return
+        arg = value.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            size = _fmt_size(arg.value)
+            if size is not None:
+                self.struct_consts[target.id] = size
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._note_struct_const(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._note_struct_const(node.target, node.value)
         self.generic_visit(node)
 
     # -- except / with / defs -------------------------------------------
@@ -251,11 +391,19 @@ class _Checker(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._note_codec_def(node.name, node.lineno)
-        self._visit_scope(node)
+        self._fn_stack.append(node.name)
+        try:
+            self._visit_scope(node)
+        finally:
+            self._fn_stack.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._note_codec_def(node.name, node.lineno)
-        self._visit_scope(node)
+        self._fn_stack.append(node.name)
+        try:
+            self._visit_scope(node)
+        finally:
+            self._fn_stack.pop()
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
         self._visit_scope(node)
@@ -263,13 +411,37 @@ class _Checker(ast.NodeVisitor):
     def _note_codec_def(self, name: str, lineno: int) -> None:
         bare = name.lstrip("_")
         if bare.startswith("pack_"):
-            self.pack_defs.setdefault(bare[len("pack_"):], lineno)
+            self.pack_defs.setdefault(bare[len("pack_"):], (lineno, name))
         elif bare.startswith("unpack_"):
-            self.unpack_defs.add(bare[len("unpack_"):])
+            self.unpack_defs.setdefault(bare[len("unpack_"):], name)
+
+    def _layout_refs(self, fn: str) -> Dict[str, int]:
+        """Struct items ``fn`` references, transitively through calls to
+        helpers defined in this module: display name -> byte width."""
+        refs: Dict[str, int] = {}
+        seen: Set[str] = set()
+        queue = [fn]
+        while queue:
+            current = queue.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for name in self._fn_names.get(current, ()):
+                if name in self.struct_consts:
+                    refs[name] = self.struct_consts[name]
+            for fmt, size in self._fn_literals.get(current, {}).items():
+                refs[f'"{fmt}"'] = size
+            for callee in self._fn_calls.get(current, ()):
+                # Only intra-module helpers extend the closure; calls to
+                # names we never saw defined are ignored.
+                if callee in self._fn_names or callee in self._fn_calls:
+                    queue.append(callee)
+        return refs
 
     def finish(self) -> None:
-        for suffix, lineno in sorted(self.pack_defs.items()):
-            if suffix not in self.unpack_defs:
+        for suffix, (lineno, pack_name) in sorted(self.pack_defs.items()):
+            unpack_name = self.unpack_defs.get(suffix)
+            if unpack_name is None:
                 self.violations.append(
                     Violation(
                         self.relpath, lineno, "codec-pairing",
@@ -278,6 +450,31 @@ class _Checker(ast.NodeVisitor):
                         "decode is half a protocol",
                     )
                 )
+                continue
+            pack_refs = self._layout_refs(pack_name)
+            unpack_refs = self._layout_refs(unpack_name)
+            # Compare byte widths of the distinct struct items each side
+            # reaches; spelling may differ (a constant on one side, an
+            # equivalent literal format on the other) without drift.
+            if not pack_refs or not unpack_refs:
+                continue
+            if sorted(pack_refs.values()) == sorted(unpack_refs.values()):
+                continue
+            self.violations.append(
+                Violation(
+                    self.relpath, lineno, "codec-layout",
+                    f"{pack_name}/{unpack_name} disagree on fixed-width "
+                    f"struct layout: {pack_name} references "
+                    f"{_layout_text(pack_refs)}; {unpack_name} references "
+                    f"{_layout_text(unpack_refs)}",
+                )
+            )
+
+
+def _layout_text(refs: Dict[str, int]) -> str:
+    return ", ".join(
+        f"{name}({size}B)" for name, size in sorted(refs.items())
+    )
 
 
 def _suppressed(source_lines: Sequence[str], violation: Violation) -> bool:

@@ -66,6 +66,7 @@ __all__ = [
     "TrackedCondition",
     "TrackedLock",
     "TrackedRLock",
+    "base_label",
     "current_tracker",
     "disable_tracking",
     "enable_tracking",
@@ -129,6 +130,21 @@ class BlockingReport:
         return "\n".join(lines)
 
 
+def base_label(label: str) -> str:
+    """Strip the per-instance ``#uid`` serial off a tracker label.
+
+    Every runtime lock label is ``{creation-site name}#{uid}`` so two
+    instances of the same class stay distinguishable; the *base* label
+    (the creation-site half) is the vocabulary the static analysis in
+    :mod:`repro.analysis.flow` speaks, and what the static<->dynamic
+    cross-check compares on.
+    """
+    head, sep, tail = label.rpartition("#")
+    if sep and tail.isdigit():
+        return head
+    return label
+
+
 @dataclass(frozen=True)
 class RaceReport:
     """Everything one tracker saw: inversions and hold-while-blocking."""
@@ -137,6 +153,10 @@ class RaceReport:
     blocking: Tuple[BlockingReport, ...]
     locks: int
     edges: int
+    #: Observed acquisition-order edges at creation-site (base-label)
+    #: granularity, deduplicated: ``dst`` was acquired while ``src``
+    #: was held.  The static<->dynamic cross-check consumes this.
+    edge_pairs: Tuple[Tuple[str, str], ...] = ()
 
     @property
     def clean(self) -> bool:
@@ -378,11 +398,17 @@ class LockTracker:
 
     def report(self) -> RaceReport:
         with self._mutex:
+            pairs = {
+                (base_label(edge.src_name), base_label(edge.dst_name))
+                for row in self._graph.values()
+                for edge in row.values()
+            }
             return RaceReport(
                 cycles=tuple(self._cycles),
                 blocking=tuple(self._blocking),
                 locks=self._next_uid,
                 edges=sum(len(row) for row in self._graph.values()),
+                edge_pairs=tuple(sorted(pairs)),
             )
 
     def reset(self) -> None:

@@ -385,6 +385,53 @@ class TestLinter:
             v.rule for v in _violations(bad, "src/repro/sim/cluster.py")
         ] == ["unseeded-random"]
 
+    def test_wall_clock_alias_forms_are_seen_through(self):
+        # each of these used to evade the rule: it matched the dotted
+        # ``time.X`` spelling only, so importing the name (or aliasing
+        # the module) laundered the call
+        forms = [
+            "from time import monotonic\nx = monotonic()\n",
+            "from time import perf_counter as pc\nx = pc()\n",
+            "from time import sleep\nsleep(1)\n",
+            "import time as t\nx = t.monotonic()\n",
+            "from datetime import datetime as dt\nx = dt.now()\n",
+        ]
+        for src in forms:
+            out = _violations(src, "src/repro/sim/engine.py")
+            assert [v.rule for v in out] == ["wall-clock"], src
+            # outside sim-clocked paths the same spelling stays legal
+            assert _violations(src, "src/repro/fixpoint/x.py") == [], src
+        # the message names the canonical target, not just the alias
+        out = _violations(
+            "import time as t\nx = t.monotonic()\n", "src/repro/sim/engine.py"
+        )
+        assert "time.monotonic" in out[0].message
+
+    def test_unseeded_random_alias_forms_are_seen_through(self):
+        out = _violations(
+            "import random as r\nx = r.random()\n", "src/repro/dist/gossip.py"
+        )
+        assert [v.rule for v in out] == ["unseeded-random"]
+        # `from random import random as rnd` flags the import *and* the call
+        out = _violations(
+            "from random import random as rnd\nx = rnd()\n",
+            "src/repro/dist/gossip.py",
+        )
+        assert [v.rule for v in out] == ["unseeded-random"] * 2
+        # a seeded stream drawn through an aliased module stays legal
+        ok = "import random as r\ns = r.Random(7)\nx = s.random()\n"
+        assert _violations(ok, "src/repro/dist/gossip.py") == []
+
+    def test_aliased_sleep_inside_lock_still_flags(self):
+        bad = (
+            "from time import sleep as pause\n"
+            "def f(self):\n"
+            "    with self._lock:\n"
+            "        pause(0.1)\n"
+        )
+        out = _violations(bad)
+        assert [v.rule for v in out] == ["lock-held-blocking"]
+
     def test_raw_lock_outside_analysis(self):
         bad = "import threading\nlock = threading.Lock()\n"
         out = _violations(bad, "src/repro/fixpoint/new.py")
@@ -423,6 +470,80 @@ class TestLinter:
         # underscore-private pairs count too
         ok2 = "def _pack_err(e):\n    pass\ndef _unpack_err(b):\n    pass\n"
         assert _violations(ok2) == []
+
+    def test_codec_layout_drift(self):
+        bad = (
+            "import struct\n"
+            '_COUNT = struct.Struct("<I")\n'
+            '_U64 = struct.Struct("<Q")\n'
+            "def pack_digest(d):\n"
+            "    return _COUNT.pack(len(d.rows)) + _U64.pack(d.seq)\n"
+            "def unpack_digest(buf):\n"
+            "    (seq,) = _U64.unpack_from(buf, 0)\n"
+            "    return seq\n"
+        )
+        out = _violations(bad)
+        assert [v.rule for v in out] == ["codec-layout"]
+        assert "_COUNT(4B)" in out[0].message
+        assert "_U64(8B)" in out[0].message
+
+    def test_codec_layout_agrees_through_helpers(self):
+        # pack_digest reaches _LEN via _pack_name while unpack_digest
+        # inlines it; the closure over intra-module helpers sees both
+        ok = (
+            "import struct\n"
+            '_LEN = struct.Struct("<H")\n'
+            '_U64 = struct.Struct("<Q")\n'
+            "def _pack_name(name):\n"
+            "    return _LEN.pack(len(name)) + name\n"
+            "def _unpack_name(buf, off):\n"
+            "    (n,) = _LEN.unpack_from(buf, off)\n"
+            "    return buf[off + _LEN.size : off + _LEN.size + n]\n"
+            "def pack_digest(d):\n"
+            "    return _U64.pack(d.seq) + _pack_name(d.name)\n"
+            "def unpack_digest(buf):\n"
+            "    (seq,) = _U64.unpack_from(buf, 0)\n"
+            "    return seq, _unpack_name(buf, _U64.size)\n"
+        )
+        assert _violations(ok) == []
+        # drop the helper call from the unpack side: drift, flagged
+        bad = ok.replace(", _unpack_name(buf, _U64.size)", "")
+        assert [v.rule for v in _violations(bad)] == ["codec-layout"]
+
+    def test_codec_layout_literal_format_matches_constant(self):
+        # same byte width spelled as a literal on one side and a Struct
+        # constant on the other: no drift
+        ok = (
+            "import struct\n"
+            '_U64 = struct.Struct("<Q")\n'
+            "def pack_seq(s):\n"
+            '    return struct.pack("<Q", s)\n'
+            "def unpack_seq(buf):\n"
+            "    (s,) = _U64.unpack_from(buf, 0)\n"
+            "    return s\n"
+        )
+        assert _violations(ok) == []
+
+    def test_codec_layout_ignores_struct_free_codecs(self):
+        ok = (
+            "def pack_index(ix):\n"
+            "    return bytes(ix)\n"
+            "def unpack_index(buf):\n"
+            "    return list(buf)\n"
+        )
+        assert _violations(ok) == []
+
+    def test_codec_layout_suppression(self):
+        bad = (
+            "import struct\n"
+            '_U64 = struct.Struct("<Q")\n'
+            '_U32 = struct.Struct("<I")\n'
+            "def pack_seq(s):  # lint: skip[codec-layout]\n"
+            "    return _U64.pack(s)\n"
+            "def unpack_seq(buf):\n"
+            "    return _U32.unpack_from(buf, 0)[0]\n"
+        )
+        assert _violations(bad) == []
 
     def test_blocking_call_inside_with_lock(self):
         bad = (

@@ -15,6 +15,9 @@ import repro
 #: diff here - pkgutil walking below catches *additions* we forgot.
 EXPECTED_MODULES = [
     "repro.analysis",
+    "repro.analysis.callgraph",
+    "repro.analysis.crosscheck",
+    "repro.analysis.flow",
     "repro.analysis.lint",
     "repro.analysis.sync",
     "repro.baselines",
