@@ -17,10 +17,15 @@ shapes:
 * **bounded long-run state** - under churny re-learning the per-view
   gossip log stays bounded (compaction keeps the latest entry per
   belief; version caps cover the gaps), so long-lived views stop
-  growing without bound.
+  growing without bound;
+* **rejoin readmission ladder** - rounds from a restart (one SWIM
+  incarnation past the tombstone) until every survivor readmits the
+  node stay on the same O(log n) epidemic schedule as detection, the
+  rejoined node's fresh-epoch holdings win placements again, and its
+  pre-death beliefs stay buried (no resurrection).
 
 The snapshot persists as ``BENCH_churn.json`` (weekly CI artifact,
-alongside ``BENCH_core.json``).
+alongside ``BENCH_core.json``; schema 2 added the rejoin ladder).
 """
 
 from __future__ import annotations
@@ -134,6 +139,75 @@ def detection_experiment(n: int):
 
 
 # ----------------------------------------------------------------------
+# Rejoin ladder: rounds from restart to universal readmission
+
+
+def rejoin_experiment(n: int):
+    """Kill -> converge the tombstone -> restart one incarnation up ->
+    measure rounds until every survivor readmits the node, then prove
+    placement trusts it again and the dead epoch stays dead."""
+    views, coordinator = _seeded_coordinator(n)
+    victim = views[-1].node
+    old_target = f"obj-{n - 1}"  # held only by the victim's first life
+    survivors = [v for v in views if v.node != victim]
+    machines = [v.node for v in views]
+
+    coordinator.kill(victim)
+    rounds = 0
+    while len(coordinator.declared_dead(victim)) < len(survivors):
+        coordinator.round()
+        rounds += 1
+        if rounds >= DETECTION_BUDGET:
+            raise AssertionError(
+                f"{n}-node cluster never tombstoned {victim}"
+            )
+
+    fresh = coordinator.restart(victim)
+    new_target = "obj-reborn"
+    fresh.learn(new_target, victim, 4 * MB)  # the reboot's own disk
+
+    readmit_rounds = 0
+    while len(coordinator.readmitted(victim)) < len(survivors):
+        coordinator.round()
+        readmit_rounds += 1
+        if readmit_rounds >= DETECTION_BUDGET:
+            raise AssertionError(
+                f"{n}-node cluster never readmitted {victim}"
+            )
+    # Let the fresh epoch's inventory finish its own epidemic spread.
+    spread_rounds = 0
+    while any(
+        view.where(new_target) != {victim} for view in survivors
+    ):
+        coordinator.round()
+        spread_rounds += 1
+        if spread_rounds >= DETECTION_BUDGET:
+            raise AssertionError(
+                f"{victim}'s fresh holdings never reached every survivor"
+            )
+
+    for view in survivors:
+        detector = coordinator.membership_view(view.node)
+        assert not detector.is_dead(victim)
+        assert not view.is_evicted(victim)
+        # Readmitted: the rejoined node wins placement for its fresh
+        # holdings again...
+        assert (
+            _placement_for(view, detector, new_target, machines) == victim
+        )
+        # ...while the first life's beliefs stayed buried.
+        assert view.where(old_target) == set()
+
+    return {
+        "nodes": n,
+        "rounds_to_readmit": readmit_rounds,
+        "rounds_to_respread": readmit_rounds + spread_rounds,
+        "log2n": math.ceil(math.log2(n)),
+        "bound": 2 * math.ceil(math.log2(n)) + 6,
+    }
+
+
+# ----------------------------------------------------------------------
 # Lost work: kill a peer mid-scatter, re-delegate, complete on survivors
 
 
@@ -232,11 +306,12 @@ def bounded_state_experiment(flaps: int = 20_000):
 def test_churn_detection_recovery_and_bounded_state(benchmark, run_once):
     def experiment():
         ladder = [detection_experiment(n) for n in CLUSTER_SIZES]
+        rejoin = [rejoin_experiment(n) for n in CLUSTER_SIZES]
         lost = lost_work_experiment()
         state = bounded_state_experiment()
-        return ladder, lost, state
+        return ladder, rejoin, lost, state
 
-    ladder, lost, state = run_once(benchmark, experiment)
+    ladder, rejoin, lost, state = run_once(benchmark, experiment)
 
     print("\n nodes  haunted  rounds-to-tombstone  bound  member-B/handshake")
     for row in ladder:
@@ -244,6 +319,12 @@ def test_churn_detection_recovery_and_bounded_state(benchmark, run_once):
             f"{row['nodes']:6d} {row['haunted_before']:8d} "
             f"{row['rounds_to_tombstone']:20d} {row['bound']:6d} "
             f"{row['membership_bytes_per_handshake']:18,.0f}"
+        )
+    print("\n nodes  rounds-to-readmit  rounds-to-respread  bound")
+    for row in rejoin:
+        print(
+            f"{row['nodes']:6d} {row['rounds_to_readmit']:18d} "
+            f"{row['rounds_to_respread']:19d} {row['bound']:6d}"
         )
     print(
         f"lost work: {lost['retried']}/{lost['delegations']} delegations "
@@ -277,6 +358,20 @@ def test_churn_detection_recovery_and_bounded_state(benchmark, run_once):
     for row in ladder:
         assert row["membership_bytes_per_handshake"] < row["nodes"] * 64
 
+    # Readmission rides the same epidemic schedule as detection minus
+    # the suspect/confirm lag (the rejoin assertion is direct evidence,
+    # not inferred silence): O(log n)-ish rounds, nowhere near linear.
+    for row in rejoin:
+        assert row["rounds_to_readmit"] <= row["bound"], row
+        assert row["rounds_to_respread"] <= row["bound"] + 2 * row["log2n"], row
+    by_nodes = {row["nodes"]: row for row in rejoin}
+    assert (
+        by_nodes[32]["rounds_to_readmit"]
+        <= by_nodes[4]["rounds_to_readmit"]
+        + 2 * (by_nodes[32]["log2n"] - by_nodes[4]["log2n"])
+        + 4
+    )
+
     # Every delegation completed on a survivor; the in-flight ones were
     # genuinely lost (rolled back) and genuinely re-delegated.
     assert lost["retried"] >= 1
@@ -294,11 +389,15 @@ def test_churn_detection_recovery_and_bounded_state(benchmark, run_once):
     path = dump_bench(
         REPO_ROOT / "BENCH_churn.json",
         {
+            "schema": 2,  # v2: + rejoin_ladder (incarnations, PR 10)
             "detection_ladder": ladder,
+            "rejoin_ladder": rejoin,
             "lost_work": lost,
             "bounded_state": state,
         },
     )
     back = load_bench(path)
+    assert back["schema"] == 2
     assert back["lost_work"]["retried"] >= 1
+    assert back["rejoin_ladder"][0]["rounds_to_readmit"] >= 1
     print(f"BENCH_churn.json written: {path}")

@@ -243,6 +243,29 @@ class FixpointSim(Platform):
             raise SchedulingError(f"unknown machine {name!r}")
         self.gossip.kill(name)
 
+    def restart_machine(self, name: str) -> None:
+        """The failed machine reboots (gossip+membership mode).
+
+        Kill -> restart -> readmission: the coordinator mints a fresh
+        view one incarnation up, the machine relearns its own disk
+        (stamped under the new epoch, so survivors' retained version
+        caps do not swallow the assertions), and ordinary gossip rounds
+        carry the rejoin - survivors readmit it, the scheduler's
+        detector stops excluding it, and placement uses it again.
+        Nothing informs the schedulers directly, mirroring
+        :meth:`fail_machine`.
+        """
+        if self.gossip is None or not self.gossip.membership_enabled:
+            raise SchedulingError(
+                "restart_machine requires gossip with membership enabled "
+                "(GossipConfig(membership=True))"
+            )
+        if name not in self.machine_views:
+            raise SchedulingError(f"unknown machine {name!r}")
+        fresh = self.gossip.restart(name, clock=self.obs.clock)
+        self.machine_views[name] = fresh
+        fresh.refresh_local(self.cluster)
+
     def _compute_penalty(self, machine: str) -> float:
         """Context-switch/cache pressure once schedulable > physical cores
         (the paper measures 7.5% on fig. 8b's internal-I/O row)."""

@@ -246,6 +246,9 @@ class GossipCoordinator:
         self._suspect_after = suspect_after
         self._confirm_after = confirm_after
         self._membership: Dict[str, MembershipView] = {}
+        #: node -> current incarnation, so :meth:`restart` knows what
+        #: the survivors' tombstone says and can outrank it by one.
+        self._incarnations: Dict[str, int] = {}
         if membership:
             for view in self._views:
                 self._enroll(view)
@@ -287,13 +290,17 @@ class GossipCoordinator:
     # ------------------------------------------------------------------
     # Liveness
 
-    def _enroll(self, view: ObjectView) -> None:
+    def _enroll(self, view: ObjectView, incarnation: int = 1) -> None:
         self._membership[view.node] = MembershipView(
             view.node,
             suspect_after=self._suspect_after,
             confirm_after=self._confirm_after,
             on_dead=view.evict,
+            on_rejoin=view.readmit,
+            on_refute=view.advance_epoch,
+            incarnation=incarnation,
         )
+        self._incarnations[view.node] = incarnation
 
     @property
     def membership_enabled(self) -> bool:
@@ -314,12 +321,56 @@ class GossipCoordinator:
         """
         self._dead.add(node)
 
+    def restart(self, node: str, clock=None) -> ObjectView:
+        """The killed ``node`` comes back, one incarnation up.
+
+        Models a machine reboot: the old view and detector are gone
+        (state did not survive the crash), and a *fresh* ObjectView is
+        minted at ``epoch = incarnation + 1`` alongside a fresh
+        MembershipView asserting ``ALIVE`` at that incarnation - which
+        outranks every survivor's tombstone in the lattice, so ordinary
+        gossip readmits the node (``on_rejoin`` lifts each survivor's
+        eviction gate) and its fresh-origin beliefs merge while replays
+        of its pre-death gossip still apply 0 entries.  Returns the
+        fresh view so the experiment can seed its holdings.
+        """
+        if node not in self._dead:
+            raise GossipError(
+                f"cannot restart {node!r}: it was never killed"
+            )
+        index = next(
+            (i for i, v in enumerate(self._views) if v.node == node), None
+        )
+        if index is None:
+            raise GossipError(f"cannot restart unknown node {node!r}")
+        incarnation = self._incarnations.get(node, 1) + 1
+        fresh = ObjectView(node, clock=clock, epoch=incarnation)
+        self._views[index] = fresh
+        self._dead.discard(node)
+        if self._membership:
+            self._enroll(fresh, incarnation=incarnation)
+        return fresh
+
     def declared_dead(self, node: str) -> Set[str]:
         """Which participants have tombstoned ``node`` so far."""
         return {
             observer
             for observer, membership in self._membership.items()
             if observer not in self._dead and membership.is_dead(node)
+        }
+
+    def readmitted(self, node: str) -> Set[str]:
+        """Which survivors believe ``node`` alive *at its current
+        incarnation* - i.e. have merged the rejoin, not merely never
+        heard of the death."""
+        current = self._incarnations.get(node, 1)
+        return {
+            observer
+            for observer, membership in self._membership.items()
+            if observer not in self._dead
+            and observer != node
+            and not membership.is_dead(node)
+            and membership.incarnation(node) >= current
         }
 
     # ------------------------------------------------------------------
@@ -367,15 +418,17 @@ class GossipCoordinator:
                 continue
             chosen = self.rng.sample(peers, min(self.fanout, len(peers)))
             for peer in chosen:
-                stats = self._exchange(view, peer)
-                pairs.append((view.node, peer.node))
-                digest_bytes += stats.digest_bytes
-                delta_bytes += stats.delta_bytes
-                entries += stats.entries_shipped
                 if self._membership:
                     # The liveness piggyback: both maps ride the same
                     # handshake (in fixpoint.net they ride the SYN/ACK
                     # frames), merged with the same join algebra.
+                    # Liveness merges *before* inventory, so a
+                    # tombstone evicts ahead of the stale entries it
+                    # shadows and - the rejoin mirror - a readmission
+                    # lifts the eviction gate ahead of the returning
+                    # node's fresh entries.  Inventory-first would drop
+                    # those entries *and* advance the caps past them,
+                    # losing them for good.
                     mine = self._membership[view.node]
                     theirs = self._membership[peer.node]
                     membership_bytes += mine.wire_bytes()
@@ -383,6 +436,11 @@ class GossipCoordinator:
                     members_out = mine.members()
                     mine.merge(theirs.members())
                     theirs.merge(members_out)
+                stats = self._exchange(view, peer)
+                pairs.append((view.node, peer.node))
+                digest_bytes += stats.digest_bytes
+                delta_bytes += stats.delta_bytes
+                entries += stats.entries_shipped
         if self._membership:
             # One observed round per participant: age records, run the
             # suspect -> confirm detector.  Confirmations fire on_dead,

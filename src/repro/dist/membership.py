@@ -19,18 +19,30 @@ machinery instead of adding a second protocol:
   ``confirm_after`` more (the SWIM suspect -> confirm split: suspicion
   gossips onward so a live-but-lagging node can refute it by beating,
   and only unrefuted suspicion hardens into a tombstone);
-* a **tombstone** (:data:`DEAD`) is the top of the per-node join
-  lattice: it beats any heartbeat, survives any merge order, and is
-  terminal - there is no rejoin without incarnation numbers (the
-  recorded follow-up).  That totality is what makes the merge
-  idempotent, commutative, and associative, so the hypothesis property
-  suite for the inventory delta algebra extends to membership verbatim.
+* a **tombstone** (:data:`DEAD`) is terminal *within an incarnation*:
+  it beats any heartbeat of the same incarnation and survives any
+  merge order - but a node carries a SWIM **incarnation number**, and
+  a higher incarnation outranks a lower incarnation's tombstone.  The
+  per-node key ``(incarnation, dead?, heartbeat, status-rank)`` stays
+  a total order, so the merge stays idempotent, commutative, and
+  associative (property-tested) and rejoin needs no second protocol:
+  a restarted node simply asserts ``ALIVE`` at ``incarnation + 1``,
+  and a falsely-tombstoned node *refutes* the tombstone the same way
+  the SWIM self-defense refutes suspicion - by reasserting itself one
+  incarnation up (:meth:`MembershipView.beat` on a tombstoned self).
 
-Consumers subscribe with ``on_dead`` callbacks (fired exactly once per
-tombstoned node, outside this view's lock): the gossip coordinator and
-:class:`~repro.fixpoint.net.FixpointNode` use them to evict the dead
-node's beliefs from every :class:`ObjectView`, drop it from placement
-candidates, and close its channels so parked waiters fail fast.
+Consumers subscribe with ``on_dead`` callbacks (fired once per
+tombstoned *(node, incarnation)*, outside this view's lock): the gossip
+coordinator and :class:`~repro.fixpoint.net.FixpointNode` use them to
+evict the dead node's beliefs from every :class:`ObjectView`, drop it
+from placement candidates, and close its channels so parked waiters
+fail fast.  The mirrors are ``on_rejoin`` (a previously tombstoned node
+came back at a higher incarnation: readmit its beliefs, restore its
+candidacy) and ``on_refute`` (*this* node just beat a tombstone about
+itself: re-register, restamp, and gossip the refutation onward).  A
+tombstone about this node never fires ``on_dead`` - self-destructing
+on someone else's false accusation is exactly the bug refutation
+exists to fix.
 
 Time here is *logical*: :meth:`MembershipView.tick` advances a local
 observation counter (one per gossip round the node participates in),
@@ -61,7 +73,8 @@ __all__ = [
 ]
 
 #: Member liveness states.  ``ALIVE`` and ``SUSPECT`` are refutable
-#: (a fresher heartbeat wins); ``DEAD`` is the terminal tombstone.
+#: (a fresher heartbeat wins); ``DEAD`` is the tombstone, terminal
+#: within its incarnation.
 ALIVE = "alive"
 SUSPECT = "suspect"
 DEAD = "dead"
@@ -81,31 +94,38 @@ class MembershipError(FixError):
 
 @dataclass(frozen=True)
 class Member:
-    """One node's liveness assertion: ``(node, heartbeat, status)``.
+    """One node's liveness assertion: ``(node, heartbeat, status,
+    incarnation)``.
 
     The heartbeat is the node's own version counter (stamped like an
     inventory version: bumped by :meth:`MembershipView.beat`, only ever
     forward).  A suspicion is stamped *at* the heartbeat it doubts, so
-    the suspected node refutes it simply by beating past it.
+    the suspected node refutes it simply by beating past it.  The
+    incarnation only the node itself may bump: it resets the heartbeat
+    race entirely, which is how a restarted or falsely-accused node
+    outranks its own tombstone.
     """
 
     node: str
     heartbeat: int
     status: str = ALIVE
+    incarnation: int = 1
 
-    def order_key(self) -> Tuple[int, int, int]:
+    def order_key(self) -> Tuple[int, int, int, int]:
         """Total order per node; the merge keeps the max.
 
-        ``DEAD`` sorts above every live stamp regardless of heartbeat
-        (a tombstone is terminal - no heartbeat refutes it); among live
-        stamps the fresher heartbeat wins, and at equal heartbeats the
-        doubt wins (``SUSPECT`` > ``ALIVE``), which is what lets an
-        unrefuted suspicion spread instead of being shouted down by
-        stale optimism.
+        The incarnation dominates everything: a node's fresh life
+        outranks its old death.  Within an incarnation ``DEAD`` sorts
+        above every live stamp regardless of heartbeat (the tombstone
+        is terminal until the node itself refutes it one incarnation
+        up); among live stamps the fresher heartbeat wins, and at equal
+        heartbeats the doubt wins (``SUSPECT`` > ``ALIVE``), which is
+        what lets an unrefuted suspicion spread instead of being
+        shouted down by stale optimism.
         """
         if self.status == DEAD:
-            return (1, self.heartbeat, _RANK[DEAD])
-        return (0, self.heartbeat, _RANK[self.status])
+            return (self.incarnation, 1, self.heartbeat, _RANK[DEAD])
+        return (self.incarnation, 0, self.heartbeat, _RANK[self.status])
 
     @property
     def is_dead(self) -> bool:
@@ -113,7 +133,13 @@ class Member:
 
     def wire_bytes(self) -> int:
         """Bytes this entry occupies in :func:`pack_members`."""
-        return _LEN.size + len(self.node.encode("utf-8")) + _U64.size + 1
+        return (
+            _LEN.size
+            + len(self.node.encode("utf-8"))
+            + _U64.size  # incarnation
+            + _U64.size  # heartbeat
+            + 1
+        )
 
 
 def join_members(a: Member, b: Member) -> Member:
@@ -136,7 +162,8 @@ def join_members(a: Member, b: Member) -> Member:
 
 
 def pack_members(members: Iterable[Member]) -> bytes:
-    """``[u32 count]`` then per member ``[u16 len][node][u64 hb][u8 st]``."""
+    """``[u32 count]`` then per member
+    ``[u16 len][node][u64 incarnation][u64 hb][u8 st]``."""
     entries = sorted(members, key=lambda m: m.node)
     parts = [_COUNT.pack(len(entries))]
     for member in entries:
@@ -144,29 +171,49 @@ def pack_members(members: Iterable[Member]) -> bytes:
         parts.append(
             _LEN.pack(len(raw))
             + raw
+            + _U64.pack(member.incarnation)
             + _U64.pack(member.heartbeat)
             + _STATUS.pack(_RANK[member.status])
         )
     return b"".join(parts)
 
 
+def _bounded(raw: bytes, offset: int, size: int, field: str) -> None:
+    """Refuse a read past the frame instead of letting ``struct`` raise
+    a bare error (or a name slice silently truncate and misparse the
+    tail as garbage fields)."""
+    if offset + size > len(raw):
+        raise MembershipError(
+            f"truncated membership frame: {field} needs {size} byte(s) at "
+            f"offset {offset} but only {len(raw)} byte(s) total"
+        )
+
+
 def unpack_members(raw: bytes, offset: int = 0) -> Tuple[Tuple[Member, ...], int]:
+    _bounded(raw, offset, _COUNT.size, "count")
     (count,) = _COUNT.unpack_from(raw, offset)
     offset += _COUNT.size
     members: List[Member] = []
     for _ in range(count):
+        _bounded(raw, offset, _LEN.size, "node length")
         (length,) = _LEN.unpack_from(raw, offset)
         offset += _LEN.size
+        _bounded(raw, offset, length, "node name")
         node = raw[offset : offset + length].decode("utf-8")
         offset += length
+        _bounded(raw, offset, _U64.size, "incarnation")
+        (incarnation,) = _U64.unpack_from(raw, offset)
+        offset += _U64.size
+        _bounded(raw, offset, _U64.size, "heartbeat")
         (heartbeat,) = _U64.unpack_from(raw, offset)
         offset += _U64.size
+        _bounded(raw, offset, _STATUS.size, "status")
         (rank,) = _STATUS.unpack_from(raw, offset)
         offset += _STATUS.size
         status = _BY_RANK.get(rank)
         if status is None:
             raise MembershipError(f"bad membership status byte {rank}")
-        members.append(Member(node, heartbeat, status))
+        members.append(Member(node, heartbeat, status, incarnation))
     return tuple(members), offset
 
 
@@ -189,10 +236,12 @@ class MembershipView:
     """One node's gossiped belief about who is alive.
 
     Thread-safe the same way :class:`ObjectView` is: every public
-    method holds the view's lock, and ``on_dead`` callbacks fire
-    *outside* it (they close channels and take other locks).  Each
-    tombstoned node fires the callbacks exactly once per view, no
-    matter how many merges re-deliver the tombstone.
+    method holds the view's lock, and the ``on_dead`` / ``on_rejoin`` /
+    ``on_refute`` callbacks fire *outside* it (they close channels and
+    take other locks).  Each tombstoned *(node, incarnation)* fires
+    ``on_dead`` exactly once per view, no matter how many merges
+    re-deliver the tombstone; each dead->alive flip (only possible via
+    a higher incarnation) fires ``on_rejoin`` once per transition.
     """
 
     def __init__(
@@ -201,26 +250,54 @@ class MembershipView:
         suspect_after: int = 4,
         confirm_after: int = 4,
         on_dead: Optional[Callable[[str], None]] = None,
+        on_rejoin: Optional[Callable[[str], None]] = None,
+        on_refute: Optional[Callable[[int], None]] = None,
+        incarnation: int = 1,
     ):
         self.node = node
         self.suspect_after = suspect_after
         self.confirm_after = confirm_after
         self._lock = TrackedLock("MembershipView._lock")
-        self._members: Dict[str, Member] = {node: Member(node, 1, ALIVE)}
+        self._members: Dict[str, Member] = {
+            node: Member(node, 1, ALIVE, incarnation)
+        }
         #: Local logical clock: one tick per observed gossip round.
         self._ticks = 0
         #: Tick at which each node's record last *changed* - the
         #: staleness the detector ages against.
         self._since: Dict[str, int] = {node: 0}
-        self._announced: Set[str] = set()
+        #: node -> highest incarnation whose tombstone was announced.
+        #: A later death (necessarily at a higher incarnation, after a
+        #: rejoin) announces again; re-delivery of the same tombstone
+        #: never does.
+        self._announced: Dict[str, int] = {}
         self._callbacks: List[Callable[[str], None]] = (
             [on_dead] if on_dead is not None else []
+        )
+        self._rejoin_callbacks: List[Callable[[str], None]] = (
+            [on_rejoin] if on_rejoin is not None else []
+        )
+        self._refute_callbacks: List[Callable[[int], None]] = (
+            [on_refute] if on_refute is not None else []
         )
 
     def on_dead(self, callback: Callable[[str], None]) -> None:
         """Subscribe to tombstone transitions (fired outside the lock)."""
         with self._lock:
             self._callbacks.append(callback)
+
+    def on_rejoin(self, callback: Callable[[str], None]) -> None:
+        """Subscribe to dead->alive transitions: a tombstoned node came
+        back at a higher incarnation (fired outside the lock)."""
+        with self._lock:
+            self._rejoin_callbacks.append(callback)
+
+    def on_refute(self, callback: Callable[[int], None]) -> None:
+        """Subscribe to self-refutations: *this* node saw its own
+        tombstone and reasserted life; the callback receives the new
+        incarnation (fired outside the lock)."""
+        with self._lock:
+            self._refute_callbacks.append(callback)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -229,6 +306,11 @@ class MembershipView:
         with self._lock:
             member = self._members.get(node or self.node)
             return member.heartbeat if member is not None else 0
+
+    def incarnation(self, node: Optional[str] = None) -> int:
+        with self._lock:
+            member = self._members.get(node or self.node)
+            return member.incarnation if member is not None else 0
 
     def status(self, node: str) -> Optional[str]:
         with self._lock:
@@ -241,7 +323,10 @@ class MembershipView:
             return member is not None and member.is_dead
 
     def dead_nodes(self) -> Set[str]:
-        """Every tombstoned node - the placement exclusion set."""
+        """Every *currently* tombstoned node - the placement exclusion
+        set.  A rejoined node (alive at a higher incarnation) is not in
+        it, which is what restores its candidacy everywhere the set is
+        consulted live (``costmodel.choose(exclude=...)``)."""
         with self._lock:
             return {n for n, m in self._members.items() if m.is_dead}
 
@@ -277,32 +362,51 @@ class MembershipView:
     def beat(self) -> int:
         """Advance this node's own heartbeat (once per gossip round).
 
-        A tombstoned self stays tombstoned: without incarnation numbers
-        a node that the cluster declared dead cannot rejoin - it keeps
-        running, but every peer ignores it (the recorded follow-up).
+        The generalized SWIM self-defense: a tombstoned self does not
+        stay tombstoned - it *refutes* the tombstone by bumping its
+        incarnation and reasserting ``ALIVE``, which outranks the
+        tombstone in every peer's lattice once it gossips there.
+        ``on_refute`` fires with the new incarnation.
         """
         with self._lock:
-            return self._beat_locked()
+            heartbeat, refuted = self._beat_locked()
+        if refuted is not None:
+            self._fire([], [], refuted)
+        return heartbeat
 
-    def _beat_locked(self) -> int:
+    def _beat_locked(self) -> Tuple[int, Optional[int]]:
+        """Returns ``(heartbeat, refuted_incarnation-or-None)``."""
         me = self._members[self.node]
         if me.is_dead:
-            return me.heartbeat
-        self._store(Member(self.node, me.heartbeat + 1, ALIVE))
-        return me.heartbeat + 1
+            reborn = Member(self.node, 1, ALIVE, me.incarnation + 1)
+            self._members[self.node] = reborn
+            self._since[self.node] = self._ticks
+            return reborn.heartbeat, reborn.incarnation
+        bumped = Member(self.node, me.heartbeat + 1, ALIVE, me.incarnation)
+        self._members[self.node] = bumped
+        self._since[self.node] = self._ticks
+        return bumped.heartbeat, None
 
     def suspect(self, node: str) -> None:
         """Direct evidence of trouble (a failed send, a refused dial).
 
-        Records suspicion at the node's currently-believed heartbeat, so
-        a fresher beat arriving later still refutes it.  Unknown nodes
-        are ignored (nothing to suspect), and tombstones are final.
+        Records suspicion at the node's currently-believed heartbeat
+        and incarnation, so a fresher beat arriving later still refutes
+        it.  Unknown nodes are ignored (nothing to suspect), and
+        tombstones are final within their incarnation.
         """
         with self._lock:
             member = self._members.get(node)
             if member is None or member.is_dead or node == self.node:
                 return
-            self._store(join_members(member, Member(node, member.heartbeat, SUSPECT)))
+            self._store(
+                join_members(
+                    member,
+                    Member(
+                        node, member.heartbeat, SUSPECT, member.incarnation
+                    ),
+                )
+            )
 
     def declare_dead(self, node: str) -> None:
         """Tombstone ``node`` outright (ground-truth kill in tests, or an
@@ -310,21 +414,43 @@ class MembershipView:
         with self._lock:
             member = self._members.get(node)
             heartbeat = member.heartbeat if member is not None else 0
-            newly_dead = self._store(Member(node, heartbeat, DEAD))
-        self._fire(newly_dead)
+            incarnation = member.incarnation if member is not None else 1
+            newly_dead, rejoined = self._store(
+                Member(node, heartbeat, DEAD, incarnation)
+            )
+        self._fire(newly_dead, rejoined)
 
-    def _store(self, member: Member) -> List[str]:
-        """Write one record (lock held); returns nodes newly tombstoned."""
+    def _store(self, member: Member) -> Tuple[List[str], List[str]]:
+        """Write one record (lock held); returns ``(newly tombstoned,
+        newly rejoined)`` nodes.
+
+        Never announces a tombstone about *this* node: acting on one's
+        own death notice (evicting holdings, unregistering from the
+        directory) is the self-destruct bug - the record is stored so
+        the next :meth:`beat` or :meth:`merge` sees it and refutes it.
+        """
         current = self._members.get(member.node)
         merged = member if current is None else join_members(current, member)
         if current is not None and merged == current:
-            return []
+            return [], []
         self._members[member.node] = merged
         self._since[member.node] = self._ticks
-        if merged.is_dead and merged.node not in self._announced:
-            self._announced.add(merged.node)
-            return [merged.node]
-        return []
+        if merged.is_dead:
+            if (
+                merged.node != self.node
+                and self._announced.get(merged.node, 0) < merged.incarnation
+            ):
+                self._announced[merged.node] = merged.incarnation
+                return [merged.node], []
+        elif (
+            current is not None
+            and current.is_dead
+            and merged.node != self.node
+        ):
+            # Only a strictly higher incarnation outranks a tombstone,
+            # so this is a genuine rejoin, not heartbeat noise.
+            return [], [merged.node]
+        return [], []
 
     # ------------------------------------------------------------------
     # Merge (the gossip piggyback) and detection
@@ -333,20 +459,24 @@ class MembershipView:
         """Join a peer's membership map into this one; returns how many
         records changed.  Idempotent by the lattice: replaying a map
         changes nothing.  A suspicion *about this node* is refuted on
-        the spot by beating past it - the SWIM self-defense."""
+        the spot by beating past it, and a tombstone about this node by
+        bumping the incarnation - the SWIM self-defense, generalized."""
         newly_dead: List[str] = []
+        rejoined: List[str] = []
+        refuted: Optional[int] = None
         with self._lock:
             applied = 0
             for member in members:
                 before = self._members.get(member.node)
-                dead = self._store(member)
+                dead, back = self._store(member)
                 newly_dead.extend(dead)
+                rejoined.extend(back)
                 if self._members[member.node] != before:
                     applied += 1
             me = self._members[self.node]
-            if me.status == SUSPECT:
-                self._beat_locked()
-        self._fire(newly_dead)
+            if me.status == SUSPECT or me.is_dead:
+                _, refuted = self._beat_locked()
+        self._fire(newly_dead, rejoined, refuted)
         return applied
 
     def tick(self) -> List[str]:
@@ -366,22 +496,47 @@ class MembershipView:
                     continue
                 age = self._ticks - self._since.get(node, 0)
                 if member.status == ALIVE and age >= self.suspect_after:
-                    self._store(Member(node, member.heartbeat, SUSPECT))
-                elif member.status == SUSPECT and age >= self.confirm_after:
-                    newly_dead.extend(
-                        self._store(Member(node, member.heartbeat, DEAD))
+                    self._store(
+                        Member(
+                            node,
+                            member.heartbeat,
+                            SUSPECT,
+                            member.incarnation,
+                        )
                     )
+                elif member.status == SUSPECT and age >= self.confirm_after:
+                    dead, _ = self._store(
+                        Member(
+                            node, member.heartbeat, DEAD, member.incarnation
+                        )
+                    )
+                    newly_dead.extend(dead)
         self._fire(newly_dead)
         return newly_dead
 
-    def _fire(self, newly_dead: List[str]) -> None:
-        """Run ``on_dead`` subscribers outside the lock: they evict
-        views, close channels, and unregister directories - all of
-        which take their own locks."""
-        if not newly_dead:
+    def _fire(
+        self,
+        newly_dead: List[str],
+        rejoined: Iterable[str] = (),
+        refuted: Optional[int] = None,
+    ) -> None:
+        """Run subscribers outside the lock: they evict views, close
+        channels, and unregister directories - all of which take their
+        own locks.  Order matters: deaths first, then rejoins, then
+        this node's own refutation."""
+        rejoined = list(rejoined)
+        if not newly_dead and not rejoined and refuted is None:
             return
         with self._lock:
             callbacks = list(self._callbacks)
+            rejoin_callbacks = list(self._rejoin_callbacks)
+            refute_callbacks = list(self._refute_callbacks)
         for node in newly_dead:
             for callback in callbacks:
                 callback(node)
+        for node in rejoined:
+            for callback in rejoin_callbacks:
+                callback(node)
+        if refuted is not None:
+            for callback in refute_callbacks:
+                callback(refuted)

@@ -40,6 +40,21 @@ resurrect them, while *keeping* the version caps so peers never re-send
 what this view deliberately dropped.  The tombstone thus shadows the
 holdings it evicts regardless of delivery order (property-tested).
 
+Death is no longer forever, though: origins are *epoch-qualified* to
+mirror the SWIM incarnation numbers in :mod:`repro.dist.membership`.
+A view constructed at ``epoch`` > 1 stamps its own beliefs under the
+origin id ``"node#epoch"``, so a restarted node's fresh assertions are
+a brand-new origin that no survivor's retained version caps cover -
+they merge, while replayed pre-death deltas (old origin, capped
+versions) still apply 0 entries.  :meth:`readmit` is the membership
+``on_rejoin`` hook: it lifts the :meth:`learn`/:meth:`merge_delta`
+gate for a location whose node came back, keeping the old caps (the
+anti-resurrection guarantee is per-incarnation).  :meth:`advance_epoch`
+is the false-positive recovery hook (``on_refute``): a live node that
+beat its own tombstone re-stamps its holdings under the new epoch's
+origin so survivors - whose caps cover everything it ever said before
+its "death" - relearn them through ordinary anti-entropy.
+
 Long-lived views also :meth:`compact`: within one origin's log, only
 the *latest* entry per ``(name, location)`` carries current belief, so
 superseded entries can be dropped without changing what any delta
@@ -190,8 +205,16 @@ class ExchangeStats:
 class ObjectView:
     """One node's belief about which machines hold which objects."""
 
-    def __init__(self, node: str, clock=None):
+    def __init__(self, node: str, clock=None, epoch: int = 1):
         self.node = node
+        #: The incarnation this view stamps its own beliefs under.
+        #: Epoch 1 keeps the bare node name as origin id (wire- and
+        #: digest-compatible with every existing peer); a restarted
+        #: node passes its bumped membership incarnation and stamps as
+        #: ``"node#epoch"`` - a fresh origin no old version cap covers.
+        self.epoch = epoch
+        self._origin = node if epoch <= 1 else f"{node}#{epoch}"
+        self._own_origins: Set[str] = {self._origin}
         #: Optional observability clock (wall or sim time).  When set,
         #: every belief advance stamps :attr:`last_advance`, which is
         #: what :meth:`staleness` ages against - the "how stale is this
@@ -257,7 +280,7 @@ class ObjectView:
                 return
             if self._clock is not None:
                 self.last_advance = self._clock()
-            self._record(self.node, self._vector.get(self.node, 0) + 1,
+            self._record(self._origin, self._vector.get(self._origin, 0) + 1,
                          name, location, size)
 
     def _record(
@@ -310,19 +333,22 @@ class ObjectView:
         """
         with self._lock:
             stamps = self._stamps.get((name, location), [])
-            own_versions = {
-                version for origin, version in stamps if origin == self.node
-            }
-            if own_versions:
-                log = self._log.get(self.node)
+            own: Dict[str, Set[int]] = {}
+            for origin, version in stamps:
+                if origin in self._own_origins:
+                    own.setdefault(origin, set()).add(version)
+            for origin, versions in own.items():
+                log = self._log.get(origin)
                 if log:
                     kept = [
-                        entry for entry in log if entry[0] not in own_versions
+                        entry for entry in log if entry[0] not in versions
                     ]
                     self._log_total -= len(log) - len(kept)
-                    self._log[self.node] = kept
+                    self._log[origin] = kept
             foreign = [
-                stamp for stamp in stamps if stamp[0] != self.node
+                stamp
+                for stamp in stamps
+                if stamp[0] not in self._own_origins
             ]
             if foreign:
                 # Independently corroborated: the belief outlives the
@@ -340,7 +366,8 @@ class ObjectView:
                 held.discard(name)
 
     def evict(self, location: str) -> int:
-        """Tombstone ``location``: purge every belief about it, forever.
+        """Tombstone ``location``: purge every belief about it, until
+        (if ever) membership readmits it at a higher incarnation.
 
         The membership-driven retraction (a confirmed-dead node from
         :mod:`repro.dist.membership`): unlike :meth:`forget`, which
@@ -376,6 +403,59 @@ class ObjectView:
             for key in [k for k in self._stamps if k[1] == location]:
                 del self._stamps[key]
             return len(names)
+
+    def readmit(self, location: str) -> bool:
+        """Lift the eviction gate for ``location``: its node came back.
+
+        The :meth:`MembershipView.on_rejoin` hook - a tombstoned node
+        reasserted life at a higher incarnation, so beliefs about it
+        may be learned and merged again.  Version caps are deliberately
+        *kept*: the anti-resurrection guarantee is per-incarnation, so
+        a replayed pre-death delta (old origin, covered versions) still
+        applies 0 entries, while the returning node's fresh beliefs
+        arrive under its new ``"node#epoch"`` origin, which no retained
+        cap covers.  Returns whether the location was actually gated;
+        a later death can evict it again (per-death idempotence).
+        """
+        with self._lock:
+            if location not in self._evicted:
+                return False
+            self._evicted.discard(location)
+            return True
+
+    def advance_epoch(self, epoch: int) -> int:
+        """Move this view's own origin to ``epoch`` and re-stamp its
+        node's holdings under it.
+
+        The false-positive recovery hook (:meth:`MembershipView.on_refute`):
+        a live node that beat its own tombstone has a problem replaying
+        history cannot solve - every survivor's version caps already
+        cover everything it asserted before the "death", so re-offering
+        the old entries applies 0.  Re-stamping its own holdings under
+        the fresh ``"node#epoch"`` origin makes them new information
+        again, and ordinary anti-entropy relearns them everywhere.
+        Beliefs about *other* locations are not restamped: survivors
+        never evicted those.  Returns how many beliefs were restamped;
+        stale epochs (<= current) are ignored.
+        """
+        with self._lock:
+            if epoch <= self.epoch:
+                return 0
+            self.epoch = epoch
+            self._origin = f"{self.node}#{epoch}"
+            self._own_origins.add(self._origin)
+            restamped = 0
+            held = sorted(self._holdings.get(self.node, ()), key=repr)
+            for name in held:
+                self._record(
+                    self._origin,
+                    self._vector.get(self._origin, 0) + 1,
+                    name,
+                    self.node,
+                    self._sizes.get(name),
+                )
+                restamped += 1
+            return restamped
 
     def is_evicted(self, location: str) -> bool:
         with self._lock:
@@ -463,6 +543,7 @@ class ObjectView:
                 "origins": len(self._vector),
                 "evicted": len(self._evicted),
                 "compactions": self._compactions,
+                "epoch": self.epoch,
             }
 
     # ------------------------------------------------------------------

@@ -569,8 +569,16 @@ class FixpointNode:
         obs: Optional[Obs] = None,
         suspect_after: int = 3,
         confirm_after: int = 3,
+        incarnation: int = 1,
     ):
         self.name = name
+        #: SWIM incarnation: a node restarted after the cluster
+        #: tombstoned it passes its old incarnation + 1, which outranks
+        #: the tombstone in every survivor's lattice; the view stamps
+        #: beliefs under the matching epoch so survivors' retained
+        #: version caps (which cover everything the *previous*
+        #: incarnation ever said) do not swallow the fresh ones.
+        self.incarnation = incarnation
         #: Observability: metrics registry + tracer.  Each node gets its
         #: own wall-clocked :class:`~repro.obs.Obs` by default (cheap:
         #: metric updates are a lock and a dict write), so two-node
@@ -585,7 +593,7 @@ class FixpointNode:
         #: sizes come from the handles seen in inventory/wire traffic.
         #: Gossip also puts *this node's own* holdings in it, stamped
         #: with version counters, so anti-entropy can forward them.
-        self.view = ObjectView(name, clock=self.obs.clock)
+        self.view = ObjectView(name, clock=self.obs.clock, epoch=incarnation)
         #: Optional membership: lets placement treat gossip-learned
         #: node names as candidates and delegation dial them on demand.
         self.directory = directory
@@ -595,11 +603,19 @@ class FixpointNode:
         #: frames, :meth:`gossip_sweep` runs the suspect -> confirm
         #: detector, and a confirmed death fires :meth:`_on_peer_dead`
         #: (outside the membership lock) to evict, close, unregister.
+        #: The mirrors: a dead peer reasserting life at a higher
+        #: incarnation fires :meth:`_on_peer_rejoin` (readmit its
+        #: beliefs, restore its candidacy), and this node beating its
+        #: *own* tombstone fires :meth:`_on_self_refute` (advance the
+        #: view epoch, re-register in the directory).
         self.membership = MembershipView(
             name,
             suspect_after=suspect_after,
             confirm_after=confirm_after,
             on_dead=self._on_peer_dead,
+            on_rejoin=self._on_peer_rejoin,
+            on_refute=self._on_self_refute,
+            incarnation=incarnation,
         )
         #: In-flight delegations per peer - the load signal the cost
         #: model spreads equal-price candidates with.  Raised at
@@ -642,6 +658,14 @@ class FixpointNode:
         self._m_evictions = registry.counter(
             "membership_evictions_total",
             "Peers confirmed dead and evicted from the view",
+        )
+        self._m_rejoins = registry.counter(
+            "membership_rejoins_total",
+            "Tombstoned peers readmitted at a higher incarnation",
+        )
+        self._m_refutations = registry.counter(
+            "membership_refutations_total",
+            "Own tombstones refuted by bumping the incarnation",
         )
         self._m_retries = registry.counter(
             "delegation_retries_total",
@@ -726,6 +750,54 @@ class FixpointNode:
             "membership.evict", peer=peer_name
         ).set(beliefs_evicted=evicted).finish()
 
+    def _on_peer_rejoin(self, peer_name: str) -> None:
+        """React to a tombstoned peer reasserting life at a higher
+        incarnation - the :meth:`_on_peer_dead` counterpart.
+
+        Runs outside the membership lock.  Readmission lifts the
+        view's eviction gate so the peer's fresh-epoch beliefs merge
+        again (the retained version caps keep shadowing its pre-death
+        gossip); placement candidacy and the :meth:`_ensure_channel`
+        fast-fail recover by themselves, because both consult the
+        membership's live dead set.  If a channel to the peer survived
+        the false alarm, its endpoint is re-registered in the directory
+        (a *restarted* peer re-registers itself at construction; a
+        falsely-accused one re-registers in its own
+        :meth:`_on_self_refute`).
+        """
+        readmitted = self.view.readmit(peer_name)
+        if self.directory is not None:
+            channel = self.peers.get(peer_name)
+            if channel is not None and not channel.closed:
+                self.directory.register(
+                    channel.b if channel.a is self else channel.a
+                )
+        self._m_rejoins.inc(peer=peer_name)
+        self.obs.tracer.start(
+            "membership.rejoin", peer=peer_name
+        ).set(readmitted=readmitted).finish()
+
+    def _on_self_refute(self, incarnation: int) -> None:
+        """React to *this node* beating its own tombstone.
+
+        A falsely-accused node has a recovery problem eviction created:
+        every survivor purged its holdings and kept the version caps,
+        so replaying its old gossip applies 0 entries everywhere.
+        Advancing the view's epoch re-stamps its holdings under the
+        fresh ``name#incarnation`` origin - new information under every
+        cap - and the next gossip round carries both the refutation
+        (which readmits this node at each survivor) and the re-stamped
+        beliefs.  Re-registering undoes the survivors' directory purge.
+        """
+        self.incarnation = incarnation
+        restamped = self.view.advance_epoch(incarnation)
+        if self.directory is not None:
+            self.directory.register(self)
+        self._m_refutations.inc()
+        self.obs.tracer.start(
+            "membership.refute", incarnation=incarnation
+        ).set(restamped=restamped).finish()
+
     def __enter__(self) -> "FixpointNode":
         return self
 
@@ -749,7 +821,21 @@ class FixpointNode:
         either end - share one channel and one sequence space.  The
         inventory gossip runs after the lock drops; a dispatcher that
         finds the channel mid-handshake just ships conservatively.
+
+        A *closed* channel to the same peer (a healed partition, a
+        peer readmitted after a false tombstone) does not satisfy the
+        dial: it is dropped from both endpoints and a fresh channel
+        with a fresh sequence space is minted.
         """
+        stale = self.peers.get(other.name)
+        if stale is not None and stale.closed:
+            # The closed-ness check takes the channel's own lock, so it
+            # runs before the topology lock, never inside it.
+            with _TOPOLOGY_LOCK:
+                if self.peers.get(other.name) is stale:
+                    self.peers.pop(other.name, None)
+                if other.peers.get(self.name) is stale:
+                    other.peers.pop(self.name, None)
         with _TOPOLOGY_LOCK:
             existing = self.peers.get(other.name)
             if existing is not None:
@@ -780,18 +866,26 @@ class FixpointNode:
         """A live channel to ``peer_name``, dialing through the
         directory when the name was learned only via gossip.  A peer
         this node's detector has confirmed dead is refused outright -
-        failing fast with the death named beats dialing a corpse."""
+        failing fast with the death named beats dialing a corpse; the
+        refusal lifts by itself when the peer rejoins, because the
+        check consults the live lattice.  A closed channel (a healed
+        partition, a readmitted peer) is re-dialed through the
+        directory rather than returned."""
         if self.membership.is_dead(peer_name):
             raise NetworkError(
                 f"{self.name}: peer {peer_name!r} is confirmed dead"
             )
         channel = self.peers.get(peer_name)
-        if channel is not None:
+        if channel is not None and not channel.closed:
             return channel
         if self.directory is not None:
             node = self.directory.get(peer_name)
             if node is not None and node is not self:
                 return self.connect(node)
+        if channel is not None:
+            # No directory to re-dial through: the stale link is all we
+            # have, and sending on it raises naming the closed channel.
+            return channel
         raise NetworkError(f"{self.name}: no peer named {peer_name!r}")
 
     # ------------------------------------------------------------------
@@ -850,9 +944,24 @@ class FixpointNode:
             peer_digest, offset = unpack_digest(ack_wire, offset)
             delta_in, offset = unpack_delta(ack_wire, offset)
             peer_members, _ = unpack_members(ack_wire, offset)
-            self.view.merge_delta(delta_in)
+            # The PUSH delta is computed *before* the ACK merges: if
+            # the ACK brings home this node's own tombstone, the merge
+            # refutes it (incarnation bump + epoch restamp), and the
+            # restamped entries must not ride a members-free PUSH to a
+            # peer that still believes us dead - its eviction gate
+            # would drop them while its caps advanced past them,
+            # losing them for good.  They go out on the *next* round,
+            # whose SYN carries the refutation ahead of them.
+            delta_out = self.view.delta_since(peer_digest)
+            # Liveness merges *before* inventory: a tombstone on the
+            # ACK must evict ahead of the stale entries it shadows, and
+            # a rejoin must lift the eviction gate ahead of the
+            # returning node's fresh entries - inventory-first would
+            # drop those entries while the caps advanced past them.
+            # (The serve path already orders it this way: members
+            # merge before the delta is computed.)
             self.membership.merge(peer_members)
-        delta_out = self.view.delta_since(peer_digest)
+            self.view.merge_delta(delta_in)
         push = (
             _GOSSIP_PUSH
             + _SENDER_LEN.pack(len(sender))
@@ -957,6 +1066,34 @@ class FixpointNode:
                 self.membership.suspect(peer_name)
         self.membership.tick()
         return results
+
+    def rejoin(self, survivor: "FixpointNode") -> GossipTraffic:
+        """The rejoin handshake: dial a survivor, run two full rounds.
+
+        Covers both ways back from a tombstone.  A node *restarted*
+        after the cluster buried it (built with ``incarnation`` = old
+        + 1) already outranks the tombstone: round one delivers the
+        assertion, the survivor's ``on_rejoin`` readmits it, and the
+        same round's ACK delta re-seeds this empty view from the
+        survivor's full state while the PUSH carries this node's
+        fresh-epoch holdings back.  A *falsely-accused* node (still
+        running, same incarnation as its tombstone) instead learns of
+        its own death from round one's ACK, refutes it on the spot
+        (incarnation bump + epoch restamp via ``on_refute``), and round
+        two spreads the refutation and the restamped holdings.  The
+        dial itself replaces any closed channel left over from the
+        partition; epidemic gossip carries the readmission to every
+        other survivor from there.  Returns the final round's traffic.
+        """
+        before = self.membership.incarnation(self.name)
+        self.connect(survivor)  # dials (and runs round one) if needed
+        traffic = self.gossip_with(survivor.name)
+        if self.membership.incarnation(self.name) != before:
+            # The refutation fired mid-handshake; one more round
+            # carries it - and the restamped holdings - to the
+            # survivor (idempotent if the previous round already did).
+            traffic = self.gossip_with(survivor.name)
+        return traffic
 
     # ------------------------------------------------------------------
     # Delegation

@@ -7,6 +7,13 @@ gossiped holdings kept winning placement quotes forever - staleness was
 fix: detection (suspect -> confirm over gossip rounds), eviction (views,
 channels, directories), exclusion (the one placement policy), and
 recovery (in-flight work re-delegated to survivors).
+
+PR 10 makes the tombstone refutable: SWIM incarnation numbers let a
+restarted node outrank its own death and a falsely-accused node refute
+it, views readmit rejoined locations (keeping the per-incarnation
+anti-resurrection caps), and the rejoin handshake re-seeds a returning
+node - pinned here end to end, from the lattice to kill -> restart ->
+readmission over real channels.
 """
 
 from __future__ import annotations
@@ -18,7 +25,8 @@ import pytest
 
 from repro.codelets.stdlib import blob_int, int_blob
 from repro.core.errors import SchedulingError
-from repro.dist.gossip import GossipConfig, GossipCoordinator
+from repro.core.thunks import make_application
+from repro.dist.gossip import GossipConfig, GossipCoordinator, GossipError
 from repro.dist.membership import (
     ALIVE,
     DEAD,
@@ -67,6 +75,24 @@ class TestMemberLattice:
         assert join_members(dead, fresh) == dead
         assert join_members(fresh, dead) == dead
 
+    def test_higher_incarnation_outranks_tombstone(self):
+        """The rejoin primitive: a node's fresh life beats its old
+        death, regardless of the tombstone's heartbeat."""
+        dead = Member("n", 10 ** 6, DEAD, incarnation=1)
+        reborn = Member("n", 1, ALIVE, incarnation=2)
+        assert join_members(dead, reborn) == reborn
+        assert join_members(reborn, dead) == reborn
+
+    def test_tombstone_is_terminal_within_its_incarnation(self):
+        dead = Member("n", 1, DEAD, incarnation=2)
+        stale_optimism = Member("n", 10 ** 6, ALIVE, incarnation=2)
+        assert join_members(dead, stale_optimism) == dead
+
+    def test_incarnation_dominates_heartbeat_and_status(self):
+        old_doubt = Member("n", 10 ** 6, SUSPECT, incarnation=1)
+        fresh = Member("n", 1, ALIVE, incarnation=2)
+        assert join_members(old_doubt, fresh) == fresh
+
     def test_join_rejects_mismatched_nodes(self):
         with pytest.raises(MembershipError):
             join_members(Member("a", 1), Member("b", 1))
@@ -74,8 +100,8 @@ class TestMemberLattice:
     def test_codec_roundtrip(self):
         members = (
             Member("alpha", 12, ALIVE),
-            Member("beta", 3, SUSPECT),
-            Member("gamma", 9, DEAD),
+            Member("beta", 3, SUSPECT, incarnation=3),
+            Member("gamma", 9, DEAD, incarnation=2),
         )
         raw = pack_members(members)
         decoded, offset = unpack_members(raw)
@@ -99,6 +125,58 @@ class TestMemberLattice:
         members = [Member("a-node", 7, SUSPECT), Member("b", 1, ALIVE)]
         per_member = sum(m.wire_bytes() for m in members)
         assert len(pack_members(members)) == 4 + per_member
+
+
+class TestCodecTruncation:
+    """Satellite: ``unpack_members`` on a truncated frame used to raise
+    a bare ``struct.error`` (or slice a short node name and misparse
+    the tail as garbage fields).  Every read is now bound-checked and
+    refuses with a :class:`MembershipError` naming the offset."""
+
+    FRAME = pack_members(
+        [
+            Member("alpha", 12, ALIVE),
+            Member("a-much-longer-node-name", 3, SUSPECT, incarnation=2),
+            Member("z", 9, DEAD, incarnation=7),
+        ]
+    )
+
+    def test_every_strict_prefix_is_refused_with_the_offset(self):
+        import struct as _struct
+
+        for cut in range(len(self.FRAME)):
+            prefix = self.FRAME[:cut]
+            try:
+                unpack_members(prefix)
+            except MembershipError as exc:
+                assert "offset" in str(exc)
+                assert "truncated" in str(exc)
+            except _struct.error as exc:  # pragma: no cover - the bug
+                raise AssertionError(
+                    f"bare struct.error leaked at cut={cut}: {exc}"
+                )
+            else:
+                raise AssertionError(
+                    f"truncated frame of {cut} bytes parsed silently"
+                )
+
+    def test_full_frame_still_parses(self):
+        decoded, offset = unpack_members(self.FRAME)
+        assert len(decoded) == 3
+        assert offset == len(self.FRAME)
+
+    def test_offset_past_the_buffer_is_refused(self):
+        with pytest.raises(MembershipError, match="offset"):
+            unpack_members(self.FRAME, len(self.FRAME) + 1)
+
+    def test_truncated_name_cannot_misparse_the_tail(self):
+        """Cut inside the node name: the old slice silently shortened
+        the name and then read incarnation bytes out of what remained,
+        fabricating members.  Now it refuses."""
+        frame = pack_members([Member("abcdefghij", 5, ALIVE)])
+        cut = 4 + 2 + 4  # count + len prefix + 4 name bytes of 10
+        with pytest.raises(MembershipError, match="node name"):
+            unpack_members(frame[:cut])
 
 
 # ----------------------------------------------------------------------
@@ -179,12 +257,80 @@ class TestMembershipView:
         view.merge([Member("peer", 10 ** 6, ALIVE)])  # stale optimism
         assert view.is_dead("peer")
 
-    def test_dead_self_stays_dead(self):
-        view = MembershipView("me")
+    def test_self_defense_refutes_own_tombstone_on_merge(self):
+        """Tentpole: a merged self-tombstone used to brick the node for
+        good (``beat()`` became a no-op).  Now the node bumps its
+        incarnation and reasserts ALIVE on the spot."""
+        refuted = []
+        view = MembershipView("me", on_refute=refuted.append)
         view.merge([Member("me", view.heartbeat(), DEAD)])
-        before = view.heartbeat()
-        assert view.beat() == before  # no resurrection without incarnations
+        assert not view.is_dead("me")
+        assert view.status("me") == ALIVE
+        assert view.incarnation("me") == 2
+        assert refuted == [2]
+
+    def test_beat_refutes_a_locally_stored_tombstone(self):
+        refuted = []
+        view = MembershipView("me", on_refute=refuted.append)
+        view.declare_dead("me")  # no merge in flight: stored silently
         assert view.is_dead("me")
+        view.beat()
+        assert not view.is_dead("me")
+        assert view.status("me") == ALIVE
+        assert view.incarnation("me") == 2
+        assert refuted == [2]
+
+    def test_refuted_tombstone_replay_applies_nothing(self):
+        view = MembershipView("me")
+        tombstone = Member("me", view.heartbeat(), DEAD)
+        view.merge([tombstone])
+        assert view.incarnation("me") == 2
+        # The incarnation-1 tombstone is strictly below the refutation.
+        assert view.merge([tombstone]) == 0
+        assert not view.is_dead("me")
+        assert view.incarnation("me") == 2
+
+    def test_self_tombstone_never_fires_on_dead(self):
+        """Satellite: the self-tombstone routes to refutation, never to
+        the on_dead eviction path (which would self-destruct)."""
+        dead, refuted = [], []
+        view = MembershipView("me", on_dead=dead.append, on_refute=refuted.append)
+        view.merge([Member("me", view.heartbeat(), DEAD)])
+        assert dead == []
+        assert refuted == [2]
+
+    def test_higher_incarnation_heartbeat_lifts_peer_tombstone(self):
+        rejoined = []
+        view = MembershipView("me", on_rejoin=rejoined.append)
+        view.merge([Member("peer", 5, ALIVE)])
+        view.declare_dead("peer")
+        assert view.is_dead("peer")
+        view.merge([Member("peer", 1, ALIVE, incarnation=2)])
+        assert not view.is_dead("peer")
+        assert view.status("peer") == ALIVE
+        assert rejoined == ["peer"]
+
+    def test_on_rejoin_fires_once_per_readmission(self):
+        rejoined = []
+        view = MembershipView("me", on_rejoin=rejoined.append)
+        view.merge([Member("peer", 5, ALIVE)])
+        view.merge([Member("peer", 5, DEAD)])
+        refutation = Member("peer", 1, ALIVE, incarnation=2)
+        view.merge([refutation])
+        view.merge([refutation])  # re-delivery: no refire
+        assert rejoined == ["peer"]
+
+    def test_on_dead_fires_again_for_a_later_incarnation(self):
+        dead, rejoined = [], []
+        view = MembershipView("me", on_dead=dead.append, on_rejoin=rejoined.append)
+        view.merge([Member("peer", 5, DEAD)])
+        view.merge([Member("peer", 1, ALIVE, incarnation=2)])
+        view.merge([Member("peer", 9, DEAD, incarnation=2)])
+        assert dead == ["peer", "peer"]
+        assert rejoined == ["peer"]
+        # Replaying the second tombstone announces nothing new.
+        view.merge([Member("peer", 9, DEAD, incarnation=2)])
+        assert dead == ["peer", "peer"]
 
     def test_on_dead_fires_exactly_once(self):
         fired = []
@@ -272,6 +418,92 @@ class TestObjectViewEviction:
         assert fresh.believed_size("a") == noisy.believed_size("a")
 
 
+class TestObjectViewEpochs:
+    """Tentpole: eviction and version caps are per-(origin, incarnation)
+    epoch.  ``readmit`` lifts the eviction gate but keeps the old
+    epoch's caps (pre-death replays still apply nothing); a fresh or
+    advanced epoch stamps under a new origin the survivors hold no caps
+    for, so its beliefs merge normally."""
+
+    def test_readmit_lifts_the_gate_but_keeps_the_caps(self):
+        source = ObjectView("back")
+        source.learn("x", "back", 100)
+        stale_delta = source.delta_since(EMPTY_DIGEST)
+
+        survivor = ObjectView("survivor")
+        survivor.merge_delta(stale_delta)
+        survivor.evict("back")
+        assert survivor.where("x") == set()
+
+        assert survivor.readmit("back") is True
+        assert not survivor.is_evicted("back")
+        assert survivor.readmit("back") is False  # idempotent
+        # The pre-death delta was already applied (then evicted): the
+        # caps survive readmission, so the replay cannot resurrect it.
+        assert survivor.merge_delta(stale_delta) == 0
+        assert survivor.where("x") == set()
+
+    def test_fresh_epoch_escapes_the_retained_caps(self):
+        """The whole point of epochs: the survivor kept version caps for
+        the dead node's first life, which would silently swallow a
+        restarted node's new stamps if it reused the same origin."""
+        first_life = ObjectView("back")
+        first_life.learn("old", "back", 10)
+        survivor = ObjectView("survivor")
+        survivor.merge_delta(first_life.delta_since(EMPTY_DIGEST))
+        survivor.evict("back")
+        survivor.readmit("back")
+
+        second_life = ObjectView("back", epoch=2)
+        second_life.learn("new", "back", 20)
+        applied = survivor.merge_delta(
+            second_life.delta_since(survivor.digest())
+        )
+        assert applied >= 1
+        assert survivor.where("new") == {"back"}
+        assert survivor.where("old") == set()  # the old life stays dead
+
+    def test_advance_epoch_restamps_own_holdings(self):
+        view = ObjectView("me")
+        view.learn("mine", "me", 5)
+        view.learn("theirs", "peer", 7)
+        before = view.stats()["epoch"]
+        assert before == 1
+        restamped = view.advance_epoch(3)
+        assert restamped == 1  # only location == self.node holdings
+        assert view.stats()["epoch"] == 3
+        assert view.where("mine") == {"me"}
+        assert view.where("theirs") == {"peer"}
+
+        # The restamped entry rides a delta under the new origin, so a
+        # survivor who evicted "me" (dropping its old entries) and then
+        # readmits still receives "mine".
+        survivor = ObjectView("survivor")
+        survivor.evict("me")
+        survivor.readmit("me")
+        survivor.merge_delta(view.delta_since(survivor.digest()))
+        assert survivor.where("mine") == {"me"}
+
+    def test_advance_epoch_is_monotone(self):
+        view = ObjectView("me", epoch=2)
+        assert view.advance_epoch(2) == 0
+        assert view.advance_epoch(1) == 0
+        assert view.stats()["epoch"] == 2
+
+    def test_re_eviction_after_readmission_works(self):
+        """A rejoined node can die again: the second tombstone evicts
+        the fresh epoch's beliefs just like the first did."""
+        reborn = ObjectView("back", epoch=2)
+        reborn.learn("new", "back", 20)
+        survivor = ObjectView("survivor")
+        survivor.evict("back")
+        survivor.readmit("back")
+        survivor.merge_delta(reborn.delta_since(survivor.digest()))
+        assert survivor.where("new") == {"back"}
+        assert survivor.evict("back") == 1
+        assert survivor.where("new") == set()
+
+
 # ----------------------------------------------------------------------
 # Coordinator-driven epidemic detection (the simulated side)
 
@@ -327,6 +559,71 @@ class TestCoordinatorMembership:
                 continue
             detector = coordinator.membership_view(f"n{i}")
             assert detector.dead_nodes() <= {"n5"}
+
+    def test_restart_requires_a_prior_kill(self):
+        _views, coordinator = self._coordinator()
+        with pytest.raises(GossipError, match="never killed"):
+            coordinator.restart("n2")
+
+    def test_restarted_node_is_readmitted_everywhere(self):
+        """Tentpole e2e (simulated side): kill -> tombstone-converge ->
+        restart one incarnation up -> ordinary gossip readmits the node
+        at every survivor, its fresh holdings spread, and its first
+        life's beliefs stay buried."""
+        views, coordinator = self._coordinator()
+        views[3].learn("old-obj", "n3", 100)  # dies with the first life
+        for _ in range(5):
+            coordinator.round()
+        coordinator.kill("n3")
+        rounds = 0
+        while len(coordinator.declared_dead("n3")) < 7:
+            coordinator.round()
+            rounds += 1
+            assert rounds < 32, "tombstone never converged"
+
+        fresh = coordinator.restart("n3")
+        assert fresh is not views[3]
+        assert fresh.node == "n3"
+        assert fresh.stats()["epoch"] == 2
+        fresh.learn("new-obj", "n3", 64)  # the reboot's own disk
+
+        rounds = 0
+        while len(coordinator.readmitted("n3")) < 7:
+            coordinator.round()
+            rounds += 1
+            assert rounds < 32, "readmission never converged"
+        for _ in range(8):  # let the fresh inventory finish spreading
+            coordinator.round()
+        for i in range(8):
+            detector = coordinator.membership_view(f"n{i}")
+            assert not detector.is_dead("n3")
+        # Survivors merged the fresh epoch's holdings...
+        assert views[0].where("new-obj") == {"n3"}
+        # ...and the dead epoch stayed dead: no resurrection.
+        assert views[0].where("old-obj") == set()
+
+    def test_second_death_after_rejoin_is_detected_again(self):
+        _views, coordinator = self._coordinator()
+        for _ in range(5):
+            coordinator.round()
+        coordinator.kill("n1")
+        rounds = 0
+        while len(coordinator.declared_dead("n1")) < 7:
+            coordinator.round()
+            rounds += 1
+            assert rounds < 32
+        coordinator.restart("n1")
+        rounds = 0
+        while len(coordinator.readmitted("n1")) < 7:
+            coordinator.round()
+            rounds += 1
+            assert rounds < 32
+        coordinator.kill("n1")  # the second life ends too
+        rounds = 0
+        while len(coordinator.declared_dead("n1")) < 7:
+            coordinator.round()
+            rounds += 1
+            assert rounds < 48, "second tombstone never converged"
 
 
 # ----------------------------------------------------------------------
@@ -444,6 +741,56 @@ class TestEngineFailMachine:
         )
         with pytest.raises(SchedulingError):
             platform.fail_machine("ghost")
+
+    def test_restart_machine_requires_membership(self):
+        from repro.dist.engine import FixpointSim
+
+        platform = FixpointSim.build(nodes=3, cores=4)
+        with pytest.raises(SchedulingError):
+            platform.restart_machine("node1")
+
+    def test_restarted_machine_is_placed_on_again(self):
+        """Tentpole e2e (scheduling side): fail the machine holding the
+        input, let detection exclude it, restart it, let gossip readmit
+        it - and the scheduler's locality placement lands on it again
+        because its relearned disk outranks the eviction."""
+        from repro.dist.engine import FixpointSim
+
+        platform = FixpointSim.build(
+            nodes=3,
+            cores=4,
+            gossip=GossipConfig(
+                startup_rounds=3,
+                rounds_per_output=2,
+                seed=0,
+                membership=True,
+                suspect_after=2,
+                confirm_after=2,
+            ),
+        )
+        for _ in range(5):
+            platform.gossip.round()
+        platform.fail_machine("node0")  # the machine holding "big"
+        for _ in range(12):
+            platform.gossip.round()
+        assert platform.scheduler.membership.is_dead("node0")
+
+        platform.restart_machine("node0")
+        rounds = 0
+        while len(platform.gossip.readmitted("node0")) < 2:
+            platform.gossip.round()
+            rounds += 1
+            assert rounds < 24, "readmission never converged"
+        for _ in range(6):  # let the relearned disk spread
+            platform.gossip.round()
+        assert not platform.scheduler.membership.is_dead("node0")
+
+        result = platform.run(self._graph())
+        assert set(result.task_finish) == {"t"}
+        # The input never moved; locality places the task back on the
+        # readmitted machine.
+        locations = platform.cluster.locate("t.out")
+        assert "node0" in locations
 
 
 # ----------------------------------------------------------------------
@@ -565,6 +912,195 @@ class TestNetFailureDetection:
         finally:
             a.close()
             b.close()
+
+
+class TestSelfTombstoneDefense:
+    """Satellite: a merged tombstone *about this node* must route to
+    refutation, never to the ``_on_peer_dead`` eviction path - the old
+    guard-free wiring would have made the node evict its own view,
+    close its own channels, and unregister itself (self-destruct on a
+    false accusation)."""
+
+    def test_merged_self_tombstone_does_not_self_destruct(self):
+        directory = NodeDirectory()
+        a = FixpointNode("a", directory=directory)
+        b = FixpointNode("b", directory=directory)
+        a.connect(b)
+        try:
+            # The poison frame: someone gossiped a's death back to a.
+            a.membership.merge([Member("a", a.membership.heartbeat(), DEAD)])
+            # No self-destruct:
+            assert not a.view.is_evicted("a")
+            assert "b" in a.peers and not a.peers["b"].closed
+            assert directory.get("a") is a
+            # And an active refutation instead:
+            assert a.membership.status("a") == ALIVE
+            assert a.membership.incarnation("a") == 2
+            assert a.incarnation == 2
+            assert a.view.stats()["epoch"] == 2
+        finally:
+            a.close()
+            b.close()
+
+    def test_refutation_spreads_and_peer_readmits(self, trio):
+        a, b, c = trio
+        # b somehow came to believe a is dead (e.g. a partitioned
+        # minority detector): it evicts a and closes the channel.
+        b.membership.merge([Member("a", a.membership.heartbeat(), DEAD)])
+        assert b.membership.is_dead("a")
+        assert b.view.is_evicted("a")
+        # a rejoins through b: it hears of its own death on the first
+        # exchange, refutes it one incarnation up, and the follow-up
+        # rounds carry the refutation back - b readmits.
+        a.rejoin(b)
+        assert not b.membership.is_dead("a")
+        assert b.membership.status("a") == ALIVE
+        assert b.membership.incarnation("a") == 2
+        assert not b.view.is_evicted("a")
+
+
+class TestNetRejoin:
+    """Tentpole e2e (executing runtime): a false positive is recovered
+    from completely - partition, tombstone, heal, refute, readmit,
+    replacement, and the rejoined node wins placements again."""
+
+    SUSPECT_AFTER = 2
+    CONFIRM_AFTER = 2
+
+    def _mesh(self, names, directory):
+        nodes = [
+            FixpointNode(
+                n,
+                directory=directory,
+                suspect_after=self.SUSPECT_AFTER,
+                confirm_after=self.CONFIRM_AFTER,
+            )
+            for n in names
+        ]
+        for i, node in enumerate(nodes):
+            for other in nodes[i + 1 :]:
+                node.connect(other)
+        return nodes
+
+    def test_false_positive_partition_heals_end_to_end(self):
+        directory = NodeDirectory()
+        a, b, c = self._mesh(("a", "b", "c"), directory)
+        try:
+            for _ in range(3):  # everyone knows everyone's heartbeat
+                for node in (a, b, c):
+                    node.gossip_sweep()
+
+            # Partition c: every link drops, but c itself keeps running
+            # (it does NOT sweep, so it never suspects the others).
+            for channel in list(c.peers.values()):
+                channel.close()
+            rounds = 0
+            while not (a.membership.is_dead("c") and b.membership.is_dead("c")):
+                a.gossip_sweep()
+                b.gossip_sweep()
+                rounds += 1
+                assert rounds < 20, "survivors never confirmed the death"
+            assert a.view.is_evicted("c")
+            assert directory.get("c") is None
+
+            # Meanwhile the isolated node keeps doing useful work: it
+            # compiles a codelet the survivors have never seen (padded,
+            # so data gravity toward its holder is visible in bytes).
+            fat_inc = c.runtime.compile(
+                '"""' + "p" * 600 + '"""\n'
+                "def _fix_apply(fix, input):\n"
+                "    entries = fix.read_tree(input)\n"
+                "    n = int.from_bytes(fix.read_blob(entries[2]), 'little')\n"
+                "    return fix.create_blob((n + 1).to_bytes(8, 'little'))\n",
+                "fat-inc",
+            )
+
+            # Heal: the rejoin handshake dials a survivor, learns of
+            # its own tombstone, refutes it one incarnation up, and
+            # re-seeds both directions.
+            c.rejoin(a)
+            assert c.membership.incarnation("c") == 2
+            assert not a.membership.is_dead("c")
+            assert a.membership.incarnation("c") == 2
+            assert not a.view.is_evicted("c")
+            assert directory.get("c") is c
+
+            # Epidemic spread readmits c at the other survivor too.
+            rounds = 0
+            while b.membership.is_dead("c"):
+                a.gossip_sweep()
+                b.gossip_sweep()
+                rounds += 1
+                assert rounds < 10, "readmission never reached b"
+
+            # The partition-time codelet reached the survivors under
+            # the fresh epoch (the retained caps could not swallow the
+            # belief), so placement prices c cheapest for work on it...
+            for _ in range(3):
+                for node in (a, b, c):
+                    node.gossip_sweep()
+            arg = a.repo.put_blob(int_blob(6))
+            encode = make_application(a.repo, fat_inc, [arg]).wrap_strict()
+            assert a.quote_best(encode).candidate == "c"
+            # ...and delegation to the readmitted node works, including
+            # from the survivor that lost its channel (directory dial).
+            result = a.delegate("c", encode)
+            assert (
+                int.from_bytes(a.repo.get_blob(result).data, "little") == 7
+            )
+            other = b.delegate("c", add_encode(b, 2, 3))
+            assert blob_int(b.repo.get_blob(other).data) == 5
+            # Nobody holds a tombstone anymore.
+            for node in (a, b, c):
+                assert node.membership.dead_nodes() == set()
+        finally:
+            for node in (a, b, c):
+                node.close()
+
+    def test_restarted_node_rejoins_with_bumped_incarnation(self):
+        """The reboot path: the old process died for real, and a fresh
+        node is built with ``incarnation = old + 1``.  One handshake
+        readmits it and re-seeds its empty view from the survivor."""
+        directory = NodeDirectory()
+        a, b, c = self._mesh(("a", "b", "c"), directory)
+        reborn = None
+        try:
+            for _ in range(3):
+                for node in (a, b, c):
+                    node.gossip_sweep()
+            c.crash()
+            rounds = 0
+            while not (a.membership.is_dead("c") and b.membership.is_dead("c")):
+                a.gossip_sweep()
+                b.gossip_sweep()
+                rounds += 1
+                assert rounds < 20
+
+            reborn = FixpointNode(
+                "c",
+                directory=directory,
+                suspect_after=self.SUSPECT_AFTER,
+                confirm_after=self.CONFIRM_AFTER,
+                incarnation=a.membership.incarnation("c") + 1,
+            )
+            reborn.rejoin(a)
+            assert not a.membership.is_dead("c")
+            # The handshake re-seeded the empty view from the survivor:
+            # the reborn node believes where the cluster's data lives.
+            assert reborn.view.stats()["entries"] > 0
+            rounds = 0
+            while b.membership.is_dead("c"):
+                a.gossip_sweep()
+                b.gossip_sweep()
+                rounds += 1
+                assert rounds < 10
+            # Work flows to the reborn node again.
+            result = a.delegate("c", add_encode(a, 4, 5))
+            assert blob_int(a.repo.get_blob(result).data) == 9
+        finally:
+            for node in (a, b, reborn):
+                if node is not None:
+                    node.close()
 
 
 class TestDelegationRollback:
@@ -774,4 +1310,88 @@ class TestChurnStress:
                 assert node.membership.dead_nodes() == {victim.name}
         finally:
             for node in nodes:
+                node.close()
+
+
+@pytest.mark.stress
+class TestRejoinStress:
+    """Stress the whole rejoin cycle under concurrency: kill a node
+    mid-scatter, re-delegate the losses, then bring the node back one
+    incarnation up and prove the cluster trusts it with work again."""
+
+    NODES = 4
+    ENCODES = 12
+
+    def test_kill_restart_readmit_under_load(self):
+        directory = NodeDirectory()
+        nodes = [
+            FixpointNode(
+                f"n{i}",
+                workers=2,
+                directory=directory,
+                suspect_after=2,
+                confirm_after=2,
+            )
+            for i in range(self.NODES)
+        ]
+        a = nodes[0]
+        victim = nodes[-1]
+        survivors = nodes[:-1]
+        reborn = None
+        try:
+            for i, node in enumerate(nodes):
+                for other in nodes[i + 1 :]:
+                    node.connect(other)
+            a.peers[victim.name].latency = 0.2
+            encodes = [add_encode(a, i, i + 1) for i in range(self.ENCODES)]
+            futures = a.scatter(encodes)
+            victim.crash()
+            for _ in range(10):
+                for node in survivors:
+                    node.gossip_sweep()
+            for index, future in enumerate(futures):
+                try:
+                    handle = future.result(timeout=30.0)
+                except NetworkError:
+                    retry = a.retry_elsewhere(future)
+                    assert retry.peer != victim.name
+                    handle = retry.result(timeout=30.0)
+                assert blob_int(a.repo.get_blob(handle).data) == 2 * index + 1
+            for node in survivors:
+                assert node.membership.is_dead(victim.name)
+
+            # The machine comes back: a fresh process, one incarnation
+            # past its tombstone, dials a survivor and rejoins.
+            reborn = FixpointNode(
+                victim.name,
+                workers=2,
+                directory=directory,
+                suspect_after=2,
+                confirm_after=2,
+                incarnation=a.membership.incarnation(victim.name) + 1,
+            )
+            reborn.rejoin(a)
+            rounds = 0
+            while any(
+                s.membership.is_dead(victim.name) for s in survivors
+            ):
+                for node in survivors:
+                    node.gossip_sweep()
+                rounds += 1
+                assert rounds < 20, "readmission never converged"
+
+            # Every survivor trusts the reborn node with work again -
+            # including ones that dial it through the directory.
+            for offset, node in enumerate(survivors):
+                handle = node.delegate(
+                    victim.name, add_encode(node, offset, offset + 1)
+                )
+                assert (
+                    blob_int(node.repo.get_blob(handle).data)
+                    == 2 * offset + 1
+                )
+            for node in survivors:
+                assert node.membership.dead_nodes() == set()
+        finally:
+            for node in nodes + ([reborn] if reborn is not None else []):
                 node.close()

@@ -312,6 +312,7 @@ member_entries = st.lists(
         st.integers(min_value=0, max_value=4),  # node index
         st.integers(min_value=1, max_value=50),  # heartbeat
         st.sampled_from([ALIVE, SUSPECT, DEAD]),
+        st.integers(min_value=1, max_value=3),  # incarnation
     ),
     min_size=1,
     max_size=30,
@@ -319,7 +320,10 @@ member_entries = st.lists(
 
 
 def _members_from(entries):
-    return [Member(f"m{i}", hb, status) for i, hb, status in entries]
+    return [
+        Member(f"m{i}", hb, status, incarnation)
+        for i, hb, status, incarnation in entries
+    ]
 
 
 def _membership_snapshot(view):
@@ -384,12 +388,21 @@ class TestMembershipMergeAlgebra:
 
     @settings(max_examples=60, deadline=None)
     @given(member_entries, st.randoms(use_true_random=False))
-    def test_tombstone_survives_any_delivery_order(self, entries, rng):
-        """Once any entry tombstones a node, every delivery order of the
-        full set leaves that node dead - stale ALIVE assertions about it
-        (shadowed holdings' heartbeats) can never resurrect it."""
+    def test_tombstone_finality_is_per_incarnation(self, entries, rng):
+        """Every delivery order converges on the same liveness verdict:
+        a node is dead iff its maximal assertion (by the total order) is
+        a tombstone.  Within an incarnation no heartbeat resurrects a
+        tombstone; across incarnations the higher one wins - which is
+        exactly what lets a restarted node rejoin."""
         members = _members_from(entries)
-        doomed = {m.node for m in members if m.status == DEAD}
+        doomed = set()
+        for member in members:
+            top = max(
+                (m for m in members if m.node == member.node),
+                key=lambda m: m.order_key(),
+            )
+            if top.is_dead:
+                doomed.add(member.node)
         shuffled = list(members)
         rng.shuffle(shuffled)
         view = MembershipView("obs")
@@ -398,11 +411,37 @@ class TestMembershipMergeAlgebra:
         assert view.dead_nodes() == doomed
 
     @settings(max_examples=60, deadline=None)
+    @given(member_entries, st.randoms(use_true_random=False))
+    def test_higher_incarnation_always_outranks_lower_tombstone(
+        self, entries, rng
+    ):
+        """Append a rejoin assertion (ALIVE one incarnation above every
+        existing entry for that node): no delivery order of the original
+        set plus the rejoin leaves the node dead."""
+        members = _members_from(entries)
+        if not members:
+            return
+        node = members[0].node
+        top = max(
+            m.incarnation for m in members if m.node == node
+        )
+        rejoin = Member(node, 1, ALIVE, top + 1)
+        shuffled = members + [rejoin]
+        rng.shuffle(shuffled)
+        view = MembershipView("obs")
+        for member in shuffled:
+            view.merge([member])
+        assert not view.is_dead(node)
+        assert view.incarnation(node) == top + 1
+
+    @settings(max_examples=60, deadline=None)
     @given(member_entries)
     def test_codec_roundtrip_is_identity(self, entries):
         members = _members_from(entries)
         decoded, offset = unpack_members(pack_members(members))
-        key = lambda m: (m.node, m.heartbeat, m.status)  # noqa: E731
+        key = lambda m: (  # noqa: E731
+            m.node, m.incarnation, m.heartbeat, m.status
+        )
         assert sorted(decoded, key=key) == sorted(members, key=key)
         assert offset == len(pack_members(members))
 
